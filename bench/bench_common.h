@@ -1,0 +1,173 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Each Fig. 4-7 binary replays `runs` seeded workloads through a policy and
+// reports the mean final cost per interval with its 95% confidence interval
+// (the paper's metric) as google-benchmark counters, one benchmark per
+// policy. Absolute wall time of the benchmark is the LP solving effort and
+// is interesting in its own right, but the scientific output is the
+// counters.
+//
+// Default scale is reduced so a full `for b in build/bench/*; do $b; done`
+// sweep finishes on one core (the paper's 20 DCs x 10 runs x 100 slots
+// needs hours of LP solves); set POSTCARD_PAPER_SCALE=1 for the paper's
+// exact parameters. EXPERIMENTS.md records both configurations.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/postcard.h"
+#include "flow/baseline.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace postcard::bench {
+
+inline bool paper_scale() {
+  const char* env = std::getenv("POSTCARD_PAPER_SCALE");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Workload parameters of Sec. VII with the given capacity / deadline knobs.
+/// Reduced scale unless POSTCARD_PAPER_SCALE=1.
+inline sim::WorkloadParams figure_params(double capacity, int max_deadline,
+                                         std::uint64_t seed) {
+  sim::WorkloadParams p;
+  p.link_capacity = capacity;
+  p.deadline_min = 1;
+  p.deadline_max = max_deadline;
+  p.cost_min = 1.0;
+  p.cost_max = 10.0;
+  p.size_min = 10.0;
+  p.size_max = 100.0;
+  p.seed = seed;
+  if (paper_scale()) {
+    p.num_datacenters = 20;
+    p.files_per_slot_min = 1;
+    p.files_per_slot_max = 20;
+    p.num_slots = 100;
+  } else {
+    p.num_datacenters = 10;
+    p.files_per_slot_min = 1;
+    p.files_per_slot_max = 6;
+    p.num_slots = 16;
+  }
+  return p;
+}
+
+inline int figure_runs() { return paper_scale() ? 10 : 3; }
+
+enum class Policy { kPostcard, kFlowBased };
+
+inline std::unique_ptr<sim::SchedulingPolicy> make_policy(
+    Policy which, const net::Topology& topology) {
+  if (which == Policy::kPostcard) {
+    core::PostcardOptions opts;
+    // Bench stopping: a ~0.2% column-generation gap is far below the
+    // run-to-run confidence intervals and several times faster to reach.
+    opts.cg_relative_gap = 2e-3;
+    opts.cg_stall_rounds = 15;
+    return std::make_unique<core::PostcardController>(net::Topology(topology),
+                                                      opts);
+  }
+  return std::make_unique<flow::FlowBaseline>(net::Topology(topology));
+}
+
+struct FigureSeries {
+  sim::Summary cost;            // final cost per interval across runs
+  sim::Summary rejected_share;  // rejected volume / offered volume
+  long lp_iterations = 0;
+};
+
+/// Runs `figure_runs()` independent seeded simulations of one policy.
+/// `size_max` caps the file-size distribution: the paper's U[10,100], or
+/// U[10, capacity] for the apples-to-apples series of Figs. 6-7 where every
+/// file satisfies the Sec. III single-slot-per-hop validity assumption.
+inline FigureSeries run_figure_series(Policy which, double capacity,
+                                      int max_deadline,
+                                      double size_max = 100.0) {
+  std::vector<double> costs;
+  std::vector<double> rejected;
+  FigureSeries series;
+  for (int run = 0; run < figure_runs(); ++run) {
+    sim::WorkloadParams params =
+        figure_params(capacity, max_deadline, 1000 + 17 * run);
+    params.size_max = size_max;
+    params.size_min = std::min(params.size_min, size_max);
+    const sim::UniformWorkload workload(params);
+    auto policy = make_policy(which, workload.topology());
+    const sim::RunResult r = sim::run_simulation(*policy, workload);
+    costs.push_back(r.final_cost_per_interval);
+    rejected.push_back(r.total_volume > 0.0 ? r.rejected_volume / r.total_volume
+                                            : 0.0);
+    series.lp_iterations += r.lp_iterations;
+  }
+  series.cost = sim::summarize(costs);
+  series.rejected_share = sim::summarize(rejected);
+  return series;
+}
+
+/// Publishes a series on a benchmark state as counters.
+inline void report_series(::benchmark::State& state, const FigureSeries& s) {
+  state.counters["cost_mean"] = s.cost.mean;
+  state.counters["cost_ci95"] = s.cost.ci95_halfwidth;
+  state.counters["rejected_share"] = s.rejected_share.mean;
+  state.counters["runs"] = s.cost.n;
+}
+
+/// Registers the Postcard and flow-based series of one figure, plus (when
+/// `small_size_max` > 0) an apples-to-apples pair whose file sizes respect
+/// the single-slot validity assumption so neither policy rejects.
+#define POSTCARD_FIGURE_BENCH_SMALL(fig, capacity, max_deadline, small_max)    \
+  static void BM_##fig##_Postcard_SmallFiles(::benchmark::State& state) {      \
+    postcard::bench::FigureSeries series;                                      \
+    for (auto _ : state) {                                                     \
+      series = postcard::bench::run_figure_series(                             \
+          postcard::bench::Policy::kPostcard, capacity, max_deadline,          \
+          small_max);                                                          \
+    }                                                                          \
+    postcard::bench::report_series(state, series);                             \
+  }                                                                            \
+  BENCHMARK(BM_##fig##_Postcard_SmallFiles)                                    \
+      ->Unit(benchmark::kSecond)                                               \
+      ->Iterations(1);                                                         \
+  static void BM_##fig##_FlowBased_SmallFiles(::benchmark::State& state) {     \
+    postcard::bench::FigureSeries series;                                      \
+    for (auto _ : state) {                                                     \
+      series = postcard::bench::run_figure_series(                             \
+          postcard::bench::Policy::kFlowBased, capacity, max_deadline,         \
+          small_max);                                                          \
+    }                                                                          \
+    postcard::bench::report_series(state, series);                             \
+  }                                                                            \
+  BENCHMARK(BM_##fig##_FlowBased_SmallFiles)                                   \
+      ->Unit(benchmark::kSecond)                                               \
+      ->Iterations(1)
+
+/// Registers the Postcard and flow-based series of one figure.
+#define POSTCARD_FIGURE_BENCH(fig, capacity, max_deadline)                     \
+  static void BM_##fig##_Postcard(::benchmark::State& state) {                 \
+    postcard::bench::FigureSeries series;                                      \
+    for (auto _ : state) {                                                     \
+      series = postcard::bench::run_figure_series(                             \
+          postcard::bench::Policy::kPostcard, capacity, max_deadline);         \
+    }                                                                          \
+    postcard::bench::report_series(state, series);                             \
+  }                                                                            \
+  BENCHMARK(BM_##fig##_Postcard)->Unit(benchmark::kSecond)->Iterations(1);     \
+  static void BM_##fig##_FlowBased(::benchmark::State& state) {                \
+    postcard::bench::FigureSeries series;                                      \
+    for (auto _ : state) {                                                     \
+      series = postcard::bench::run_figure_series(                             \
+          postcard::bench::Policy::kFlowBased, capacity, max_deadline);        \
+    }                                                                          \
+    postcard::bench::report_series(state, series);                             \
+  }                                                                            \
+  BENCHMARK(BM_##fig##_FlowBased)->Unit(benchmark::kSecond)->Iterations(1)
+
+}  // namespace postcard::bench

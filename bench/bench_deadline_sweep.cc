@@ -1,0 +1,56 @@
+// Deadline sweep: cost per interval as a function of the deadline spread
+// max T_k, at both capacity levels. Interpolates between the four paper
+// settings: the Postcard-vs-flow crossover should move with capacity, and
+// both policies should get cheaper as files become more delay-tolerant.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace postcard;
+
+void BM_DeadlineSweep_Postcard(benchmark::State& state) {
+  const double capacity = static_cast<double>(state.range(0));
+  const int max_deadline = static_cast<int>(state.range(1));
+  bench::FigureSeries s;
+  for (auto _ : state) {
+    s = bench::run_figure_series(bench::Policy::kPostcard, capacity, max_deadline);
+  }
+  bench::report_series(state, s);
+}
+BENCHMARK(BM_DeadlineSweep_Postcard)
+    ->ArgNames({"capacity", "maxT"})
+    ->Args({30, 1})
+    ->Args({30, 2})
+    ->Args({30, 4})
+    ->Args({30, 8})
+    ->Args({100, 1})
+    ->Args({100, 4})  // the {100, 8} corner duplicates Fig. 5
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+void BM_DeadlineSweep_FlowBased(benchmark::State& state) {
+  const double capacity = static_cast<double>(state.range(0));
+  const int max_deadline = static_cast<int>(state.range(1));
+  bench::FigureSeries s;
+  for (auto _ : state) {
+    s = bench::run_figure_series(bench::Policy::kFlowBased, capacity,
+                                 max_deadline);
+  }
+  bench::report_series(state, s);
+}
+BENCHMARK(BM_DeadlineSweep_FlowBased)
+    ->ArgNames({"capacity", "maxT"})
+    ->Args({30, 1})
+    ->Args({30, 2})
+    ->Args({30, 4})
+    ->Args({30, 8})
+    ->Args({100, 1})
+    ->Args({100, 4})  // the {100, 8} corner duplicates Fig. 5
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,9 @@
+// Fig. 4: average cost per time interval, ample capacity (c = 100 GB/tbar)
+// and urgent files (max T_k = 3). Expected shape: the flow-based approach
+// beats Postcard — store-and-forward is bursty and capacity is not the
+// bottleneck (Sec. VII).
+#include "bench_common.h"
+
+POSTCARD_FIGURE_BENCH(Fig4_c100_T3, 100.0, 3);
+
+BENCHMARK_MAIN();

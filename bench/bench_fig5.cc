@@ -1,0 +1,9 @@
+// Fig. 5: average cost per time interval, ample capacity (c = 100 GB/tbar)
+// and delay-tolerant files (max T_k = 8). Expected shape: flow-based still
+// wins, but both policies get cheaper than in Fig. 4 — more slack means
+// more opportunity to time-shift (Sec. VII).
+#include "bench_common.h"
+
+POSTCARD_FIGURE_BENCH(Fig5_c100_T8, 100.0, 8);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+// Fig. 7: average cost per time interval, throttled capacity (c = 30
+// GB/tbar) and delay-tolerant files (max T_k = 8). Expected shape: the
+// largest Postcard advantage of the four settings — tight capacity plus
+// slack deadlines is exactly where time-shifting onto paid links pays off
+// (Sec. VII). Read rejected_share alongside cost (see bench_fig6.cc).
+#include "bench_common.h"
+
+POSTCARD_FIGURE_BENCH(Fig7_c30_T8, 30.0, 8);
+// Apples-to-apples: sizes U[10, 30] keep every file individually schedulable.
+POSTCARD_FIGURE_BENCH_SMALL(Fig7_c30_T8, 30.0, 8, 30.0);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Optimization-value ablation: Postcard's per-slot LP vs the greedy
+// chunked-shortest-path heuristic (same slotted store-and-forward model,
+// no joint optimization) vs the flow baseline, in the tight-capacity
+// delay-tolerant regime where coordination matters most.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+
+namespace {
+
+using namespace postcard;
+
+bench::FigureSeries run_greedy_series(double capacity, int max_deadline) {
+  std::vector<double> costs, rejected;
+  bench::FigureSeries series;
+  for (int run = 0; run < bench::figure_runs(); ++run) {
+    const sim::UniformWorkload workload(
+        bench::figure_params(capacity, max_deadline, 1000 + 17 * run));
+    core::GreedyScheduler policy{net::Topology(workload.topology())};
+    const sim::RunResult r = sim::run_simulation(policy, workload);
+    costs.push_back(r.final_cost_per_interval);
+    rejected.push_back(r.total_volume > 0.0 ? r.rejected_volume / r.total_volume
+                                            : 0.0);
+  }
+  series.cost = sim::summarize(costs);
+  series.rejected_share = sim::summarize(rejected);
+  return series;
+}
+
+void BM_GreedyAblation_PostcardLp(benchmark::State& state) {
+  bench::FigureSeries s;
+  for (auto _ : state) {
+    s = bench::run_figure_series(bench::Policy::kPostcard, 30.0, 8);
+  }
+  bench::report_series(state, s);
+}
+BENCHMARK(BM_GreedyAblation_PostcardLp)->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_GreedyAblation_GreedyHeuristic(benchmark::State& state) {
+  bench::FigureSeries s;
+  for (auto _ : state) {
+    s = run_greedy_series(30.0, 8);
+  }
+  bench::report_series(state, s);
+}
+BENCHMARK(BM_GreedyAblation_GreedyHeuristic)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+void BM_GreedyAblation_FlowBased(benchmark::State& state) {
+  bench::FigureSeries s;
+  for (auto _ : state) {
+    s = bench::run_figure_series(bench::Policy::kFlowBased, 30.0, 8);
+  }
+  bench::report_series(state, s);
+}
+BENCHMARK(BM_GreedyAblation_FlowBased)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

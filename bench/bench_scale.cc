@@ -1,0 +1,76 @@
+// Scaling: wall time of one Postcard slot solve (column generation) as the
+// datacenter count and batch size grow, plus the flow baseline for contrast.
+// This is the bench that justifies the reduced default figure scale on a
+// single core (EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "core/column_generation.h"
+#include "flow/baseline.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace postcard;
+
+sim::UniformWorkload scale_workload(int dcs, int files) {
+  sim::WorkloadParams p;
+  p.num_datacenters = dcs;
+  p.link_capacity = 30.0;
+  p.files_per_slot_min = files;
+  p.files_per_slot_max = files;
+  p.deadline_min = 1;
+  p.deadline_max = 8;
+  p.size_min = 5.0;
+  p.size_max = 25.0;
+  p.num_slots = 1;
+  p.seed = 21;
+  return sim::UniformWorkload(p);
+}
+
+void BM_Scale_PostcardSlot(benchmark::State& state) {
+  const sim::UniformWorkload w(
+      scale_workload(static_cast<int>(state.range(0)),
+                     static_cast<int>(state.range(1))));
+  const auto files = w.batch(0);
+  double obj = 0.0;
+  for (auto _ : state) {
+    charging::ChargeState charge(w.topology().num_links());
+    const auto r = core::solve_postcard_by_paths(w.topology(), charge, 0, files);
+    obj = r.objective;
+    benchmark::ClobberMemory();
+  }
+  state.counters["objective"] = obj;
+}
+BENCHMARK(BM_Scale_PostcardSlot)
+    ->ArgNames({"dcs", "files"})
+    ->Args({4, 4})
+    ->Args({6, 4})
+    ->Args({8, 6})
+    ->Args({10, 6})
+    ->Args({12, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Scale_FlowBaselineSlot(benchmark::State& state) {
+  const sim::UniformWorkload w(
+      scale_workload(static_cast<int>(state.range(0)),
+                     static_cast<int>(state.range(1))));
+  const auto files = w.batch(0);
+  double cost = 0.0;
+  for (auto _ : state) {
+    flow::FlowBaseline baseline{net::Topology(w.topology())};
+    baseline.schedule(0, files);
+    cost = baseline.cost_per_interval();
+    benchmark::ClobberMemory();
+  }
+  state.counters["cost"] = cost;
+}
+BENCHMARK(BM_Scale_FlowBaselineSlot)
+    ->ArgNames({"dcs", "files"})
+    ->Args({4, 4})
+    ->Args({8, 6})
+    ->Args({12, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

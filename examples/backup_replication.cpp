@@ -1,0 +1,54 @@
+// Cross-region backup replication under a diurnal load curve.
+//
+// The scenario the paper's introduction motivates: nightly backups and bulk
+// update propagation are delay-tolerant (hours of slack), and inter-DC
+// traffic has a strong diurnal pattern, so the already-paid peak volume of
+// the busy hours can carry the backup traffic of the quiet hours for free.
+//
+// This example replays the same diurnal workload against the Postcard
+// controller and the flow-based baseline and prints the cost trajectories.
+#include <cstdio>
+
+#include "core/postcard.h"
+#include "flow/baseline.h"
+#include "sim/simulator.h"
+
+using namespace postcard;
+
+int main() {
+  sim::WorkloadParams params;
+  params.num_datacenters = 6;
+  params.link_capacity = 40.0;  // GB per 5-minute interval
+  params.cost_min = 1.0;
+  params.cost_max = 10.0;
+  params.files_per_slot_min = 2;
+  params.files_per_slot_max = 6;
+  params.size_min = 5.0;
+  params.size_max = 30.0;
+  params.deadline_min = 2;   // backups tolerate hours of delay
+  params.deadline_max = 6;
+  params.num_slots = 24;     // one simulated "day"
+  params.seed = 2026;
+
+  const sim::DiurnalWorkload workload(params, /*period_slots=*/24,
+                                      /*trough_factor=*/0.25);
+
+  core::PostcardController postcard{net::Topology(workload.topology())};
+  flow::FlowBaseline baseline{net::Topology(workload.topology())};
+
+  const sim::RunResult pr = sim::run_simulation(postcard, workload);
+  const sim::RunResult fr = sim::run_simulation(baseline, workload);
+
+  std::puts("slot | postcard cost/interval | flow-based cost/interval");
+  for (std::size_t s = 0; s < pr.cost_series.size(); ++s) {
+    std::printf("%4zu | %22.1f | %24.1f\n", s, pr.cost_series[s],
+                fr.cost_series[s]);
+  }
+  std::printf("\nfinal cost per interval: postcard %.1f vs flow-based %.1f\n",
+              pr.final_cost_per_interval, fr.final_cost_per_interval);
+  std::printf("offered volume %.1f GB, rejected: postcard %.1f GB, flow %.1f GB\n",
+              pr.total_volume, pr.rejected_volume, fr.rejected_volume);
+  std::printf("solver effort: postcard %ld LP iterations, flow %ld\n",
+              pr.lp_iterations, fr.lp_iterations);
+  return 0;
+}

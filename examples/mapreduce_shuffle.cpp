@@ -1,0 +1,61 @@
+// Geo-distributed MapReduce shuffle: urgent inter-DC transfers.
+//
+// A "file" in the paper's generic sense can be a batch of intermediate
+// MapReduce results (Sec. III). Shuffle data is the opposite of backups:
+// deadlines are tight (1-2 slots), so there is little room to time-shift.
+// With ample capacity the fluid flow model streams through relays without
+// paying the store-and-forward burstiness penalty (Sec. VII's discussion) —
+// this example shows exactly that regime and prints both policies' link
+// peaks for one batch.
+#include <cstdio>
+
+#include "core/postcard.h"
+#include "flow/baseline.h"
+
+using namespace postcard;
+
+int main() {
+  // Four regions; the aggregation site is DC 3. Prices favor relaying
+  // through DC 2 (a provider backbone hub).
+  net::Topology topology(4);
+  const double kCap = 500.0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const double price = (i == 2 || j == 2) ? 2.0 : 8.0;
+      topology.set_link(i, j, kCap, price);
+    }
+  }
+
+  // Mappers in DCs 0 and 1 ship intermediate results to the reducer DC 3.
+  std::vector<net::FileRequest> shuffle = {
+      {1, 0, 3, 120.0, 2, 0},  // 120 GB within 2 slots
+      {2, 1, 3, 90.0, 2, 0},   // 90 GB within 2 slots
+      {3, 0, 3, 40.0, 1, 0},   // a straggler partition, due immediately
+  };
+
+  core::PostcardController postcard{net::Topology(topology)};
+  flow::FlowBaseline baseline{net::Topology(topology)};
+  const auto po = postcard.schedule(0, shuffle);
+  const auto fo = baseline.schedule(0, shuffle);
+
+  std::printf("accepted: postcard %zu/3, flow-based %zu/3\n",
+              po.accepted_ids.size(), fo.accepted_ids.size());
+  std::printf("cost per interval: postcard %.1f, flow-based %.1f\n\n",
+              postcard.cost_per_interval(), baseline.cost_per_interval());
+
+  std::puts("per-link charged volume X_ij (only links that carried traffic):");
+  std::puts("  link      postcard    flow-based");
+  for (int l = 0; l < topology.num_links(); ++l) {
+    const double xp = postcard.charge_state().charged(l);
+    const double xf = baseline.charge_state().charged(l);
+    if (xp < 1e-6 && xf < 1e-6) continue;
+    const net::Link& link = topology.link(l);
+    std::printf("  D%d->D%d %10.1f %12.1f\n", link.from, link.to, xp, xf);
+  }
+  std::puts("\nWith abundant capacity and tight deadlines the fluid flow model");
+  std::puts("streams through the hub at half the peak rate of store-and-forward");
+  std::puts("(a relayed file crosses each hop in full within one slot), so the");
+  std::puts("flow-based approach is the cheaper choice here - Figs. 4-5's regime.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// mps_solve: solve any (free-format) MPS file with this library's LP stack.
+//
+// Usage:  mps_solve FILE.mps [--method simplex|ipm] [--no-presolve]
+//                   [--print-solution]
+//
+// A tiny clone of `clp file.mps -solve`: useful for debugging models dumped
+// via lp::write_mps and for exercising the solver on external instances.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "lp/mps.h"
+#include "lp/solver.h"
+
+using namespace postcard;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s FILE.mps [--method simplex|ipm] [--no-presolve] "
+                 "[--print-solution]\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+  lp::SolverOptions options;
+  bool print_solution = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--method" && i + 1 < argc) {
+      const std::string method = argv[++i];
+      if (method == "ipm") {
+        options.method = lp::Method::kInteriorPoint;
+      } else if (method != "simplex") {
+        std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+        return 2;
+      }
+    } else if (flag == "--no-presolve") {
+      options.presolve = false;
+    } else if (flag == "--print-solution") {
+      print_solution = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  lp::LpModel model;
+  try {
+    model = lp::read_mps(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s: %d rows, %d columns, %d nonzeros\n", path,
+              model.num_constraints(), model.num_variables(),
+              model.num_entries());
+
+  const lp::Solution solution = lp::solve(model, options);
+  std::printf("status: %s\n", lp::to_string(solution.status));
+  if (solution.status == lp::SolveStatus::kOptimal) {
+    std::printf("objective: %.10g\n", solution.objective);
+    std::printf("iterations: %ld\n", solution.iterations);
+    std::printf("max violation: %.3g\n", model.max_violation(solution.x));
+  }
+  if (print_solution && !solution.x.empty()) {
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (solution.x[j] != 0.0) {
+        std::string name = model.variable_name(j);
+        if (name.empty()) name = "C" + std::to_string(j);
+        std::printf("  %s = %.10g\n", name.c_str(), solution.x[j]);
+      }
+    }
+  }
+  return solution.status == lp::SolveStatus::kOptimal ? 0 : 3;
+}

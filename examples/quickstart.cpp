@@ -1,0 +1,55 @@
+// Quickstart: schedule one delay-tolerant transfer with Postcard.
+//
+// Reproduces the paper's Fig. 1 motivating example: datacenter D2 must send
+// a 6 MB file to D3 within three 5-minute intervals. Sending directly costs
+// 10 per MB; relaying through D1 (prices 1 and 3) with store-and-forward
+// scheduling drops the per-interval cost from 20 to 12.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/postcard.h"
+
+using namespace postcard;
+
+int main() {
+  // Topology: D1 = 0, D2 = 1, D3 = 2 with the prices from Fig. 1.
+  net::Topology topology(3);
+  topology.set_link(1, 2, 1000.0, 10.0);  // D2 -> D3, expensive direct link
+  topology.set_link(1, 0, 1000.0, 1.0);   // D2 -> D1, cheap first hop
+  topology.set_link(0, 2, 1000.0, 3.0);   // D1 -> D3, cheap second hop
+
+  core::PostcardController controller{std::move(topology)};
+
+  // The file: (source, destination, size, max transfer time) = (D2, D3, 6 MB,
+  // 3 slots), released at slot 0.
+  net::FileRequest file;
+  file.id = 1;
+  file.source = 1;
+  file.destination = 2;
+  file.size = 6.0;
+  file.max_transfer_slots = 3;
+  file.release_slot = 0;
+
+  const sim::ScheduleOutcome outcome = controller.schedule(0, {file});
+  if (outcome.accepted_ids.empty()) {
+    std::puts("file could not be scheduled");
+    return 1;
+  }
+
+  std::printf("cost per interval: %.2f (direct transfer would cost 20.00)\n\n",
+              controller.cost_per_interval());
+  std::puts("committed store-and-forward plan:");
+  for (const core::FilePlan& plan : controller.last_plans()) {
+    for (const core::Transfer& t : plan.transfers) {
+      if (t.storage()) {
+        std::printf("  slot %d: hold %5.2f MB at D%d\n", t.slot, t.volume,
+                    t.from + 1);
+      } else {
+        std::printf("  slot %d: send %5.2f MB D%d -> D%d\n", t.slot, t.volume,
+                    t.from + 1, t.to + 1);
+      }
+    }
+  }
+  return 0;
+}

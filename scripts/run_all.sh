@@ -1,0 +1,7 @@
+#!/bin/sh
+# Final verification driver: full test suite + every benchmark binary,
+# teeing into the repository-root output files.
+cd /root/repo || exit 1
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee /root/repo/bench_output.txt
+echo "ALL_RUNS_COMPLETE"

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Condenses bench_output.txt into the EXPERIMENTS.md summary table rows."""
+import re
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+rows = []
+for line in open(path):
+    m = re.match(r"(BM_\S+)\s", line)
+    if not m:
+        continue
+    name = m.group(1)
+    counters = dict(re.findall(r"(\w+)=([\d.]+[kmun]?)", line))
+    def num(key):
+        v = counters.get(key)
+        if v is None:
+            return None
+        scale = 1.0
+        if v[-1] in "kmun":
+            scale = {"k": 1e3, "m": 1e-3, "u": 1e-6, "n": 1e-9}[v[-1]]
+            v = v[:-1]
+        return float(v) * scale
+    cost = num("cost_mean") or num("cost_per_interval")
+    ci = num("cost_ci95")
+    rej = num("rejected_share")
+    cells = [name]
+    if cost is not None:
+        cells.append(f"cost {cost:.0f}" + (f" ± {ci:.0f}" if ci is not None else ""))
+    if rej is not None:
+        cells.append(f"rej {100*rej:.1f}%")
+    for extra in ("delivered_gb", "objective", "percentile", "budget"):
+        v = num(extra)
+        if v is not None:
+            cells.append(f"{extra}={v:.1f}")
+    rows.append("  ".join(cells))
+print("\n".join(rows))

@@ -1,0 +1,29 @@
+#include "charging/charge_state.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace postcard::charging {
+
+ChargeState::ChargeState(int num_links) : recorder_(num_links) {
+  charged_.assign(static_cast<std::size_t>(num_links), 0.0);
+}
+
+void ChargeState::commit(int link, int slot, double volume) {
+  if (volume == 0.0) return;
+  recorder_.record(link, slot, volume);
+  charged_[link] = std::max(charged_[link], recorder_.volume(link, slot));
+}
+
+double ChargeState::cost_per_interval(const net::Topology& topology) const {
+  if (topology.num_links() != num_links()) {
+    throw std::invalid_argument("topology link count mismatch");
+  }
+  double cost = 0.0;
+  for (int l = 0; l < num_links(); ++l) {
+    cost += topology.link(l).unit_cost * charged_[l];
+  }
+  return cost;
+}
+
+}  // namespace postcard::charging

@@ -1,0 +1,53 @@
+#include "charging/cost_function.h"
+
+#include <algorithm>
+
+namespace postcard::charging {
+
+CostFunction CostFunction::linear(double price) {
+  return piecewise({{0.0, price}});
+}
+
+CostFunction CostFunction::piecewise(
+    const std::vector<std::pair<double, double>>& breakpoints) {
+  if (breakpoints.empty() || breakpoints.front().first != 0.0) {
+    throw std::invalid_argument("first breakpoint must be at volume 0");
+  }
+  CostFunction f;
+  double accumulated = 0.0;
+  double prev_x = 0.0;
+  double prev_slope = 0.0;
+  for (std::size_t i = 0; i < breakpoints.size(); ++i) {
+    const auto [x, slope] = breakpoints[i];
+    if (slope < 0.0) throw std::invalid_argument("slopes must be non-negative");
+    if (i > 0) {
+      if (x <= prev_x) {
+        throw std::invalid_argument("breakpoints must be strictly increasing");
+      }
+      accumulated += prev_slope * (x - prev_x);
+    }
+    f.x_.push_back(x);
+    f.slope_.push_back(slope);
+    f.base_.push_back(accumulated);
+    prev_x = x;
+    prev_slope = slope;
+  }
+  return f;
+}
+
+double CostFunction::evaluate(double volume) const {
+  const double v = std::max(0.0, volume);
+  // Last breakpoint <= v.
+  std::size_t i = x_.size() - 1;
+  while (i > 0 && x_[i] > v) --i;
+  return base_[i] + slope_[i] * (v - x_[i]);
+}
+
+double CostFunction::marginal(double volume) const {
+  const double v = std::max(0.0, volume);
+  std::size_t i = x_.size() - 1;
+  while (i > 0 && x_[i] > v) --i;
+  return slope_[i];
+}
+
+}  // namespace postcard::charging

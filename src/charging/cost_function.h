@@ -1,0 +1,42 @@
+// ISP cost functions c(x).
+//
+// Percentile-based charging derives a charging volume x per link and maps it
+// to money through a piecewise-linear non-decreasing function (Sec. II-A,
+// citing Goldberg et al.). The paper's formulation and evaluation use the
+// linear special case c(x) = a * x; the general piecewise form is provided
+// for the percentile-accounting ablation and for downstream users.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace postcard::charging {
+
+class CostFunction {
+ public:
+  /// c(x) = price * x.
+  static CostFunction linear(double price);
+
+  /// Piecewise-linear non-decreasing function given as breakpoints
+  /// (x_i, slope_i): slope_i applies on [x_i, x_{i+1}). The first breakpoint
+  /// must be x = 0; slopes must be non-negative. Example volume discounts:
+  /// {{0, 10}, {100, 8}, {500, 5}}.
+  static CostFunction piecewise(
+      const std::vector<std::pair<double, double>>& breakpoints);
+
+  /// Cost of charging volume x (x < 0 is clamped to 0).
+  double evaluate(double volume) const;
+
+  /// Marginal price at volume x.
+  double marginal(double volume) const;
+
+  bool is_linear() const { return x_.size() == 1; }
+
+ private:
+  CostFunction() = default;
+  std::vector<double> x_;      // breakpoint volumes, x_[0] == 0
+  std::vector<double> slope_;  // slope on [x_i, x_{i+1})
+  std::vector<double> base_;   // accumulated cost at x_i
+};
+
+}  // namespace postcard::charging

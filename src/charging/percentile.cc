@@ -1,0 +1,59 @@
+#include "charging/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace postcard::charging {
+
+PercentileRecorder::PercentileRecorder(int num_links) {
+  if (num_links < 0) throw std::invalid_argument("negative link count");
+  series_.resize(static_cast<std::size_t>(num_links));
+}
+
+void PercentileRecorder::record(int link, int slot, double volume) {
+  if (link < 0 || link >= num_links()) throw std::out_of_range("bad link");
+  if (slot < 0) throw std::out_of_range("negative slot");
+  if (volume < 0.0) throw std::invalid_argument("negative volume");
+  auto& s = series_[link];
+  if (slot >= static_cast<int>(s.size())) s.resize(slot + 1, 0.0);
+  s[slot] += volume;
+  num_slots_ = std::max(num_slots_, slot + 1);
+}
+
+double PercentileRecorder::volume(int link, int slot) const {
+  const auto& s = series_[link];
+  if (slot < 0 || slot >= static_cast<int>(s.size())) return 0.0;
+  return s[slot];
+}
+
+double PercentileRecorder::charged_volume(int link, double q,
+                                          int period_slots) const {
+  if (q <= 0.0 || q > 100.0) throw std::invalid_argument("q must be in (0, 100]");
+  if (period_slots < num_slots_) {
+    throw std::invalid_argument("period shorter than observed slots");
+  }
+  if (period_slots == 0) return 0.0;
+  std::vector<double> sorted(series_[link]);
+  sorted.resize(period_slots, 0.0);  // quiet slots carry zero traffic
+  std::sort(sorted.begin(), sorted.end());
+  // Paper's convention (Sec. II-A): the k-th sorted interval with
+  // k = q% * period; e.g. 95% of a 1-year period is the 99864-th interval.
+  int k = static_cast<int>(std::floor(q / 100.0 * period_slots));
+  k = std::clamp(k, 1, period_slots);
+  return sorted[k - 1];
+}
+
+double PercentileRecorder::total_cost(const std::vector<CostFunction>& link_costs,
+                                      double q, int period_slots) const {
+  if (static_cast<int>(link_costs.size()) != num_links()) {
+    throw std::invalid_argument("one cost function per link required");
+  }
+  double total = 0.0;
+  for (int l = 0; l < num_links(); ++l) {
+    total += link_costs[l].evaluate(charged_volume(l, q, period_slots));
+  }
+  return total;
+}
+
+}  // namespace postcard::charging

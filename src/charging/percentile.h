@@ -1,0 +1,53 @@
+// q-th percentile charging scheme (Sec. II-A).
+//
+// The ISP records the traffic volume a provider generates on each link in
+// every 5-minute interval. At the end of the charging period the per-slot
+// volumes are sorted ascending and the q-th percentile entry becomes the
+// charging volume. q = 100 (the paper's simplification) charges the maximum.
+//
+// The recorder keeps the full per-slot series so the same run can be
+// accounted under several percentiles ex post (percentile ablation bench).
+#pragma once
+
+#include <vector>
+
+#include "charging/cost_function.h"
+
+namespace postcard::charging {
+
+class PercentileRecorder {
+ public:
+  /// `num_links` series are tracked; slots are appended implicitly by
+  /// record() calls and missing slots count as zero traffic.
+  explicit PercentileRecorder(int num_links);
+
+  /// Adds `volume` to link `link`'s traffic during slot `slot`.
+  void record(int link, int slot, double volume);
+
+  /// Number of slots observed so far (max recorded slot + 1).
+  int num_slots() const { return num_slots_; }
+  int num_links() const { return static_cast<int>(series_.size()); }
+
+  /// Volume of link `link` during `slot` (zero if never recorded).
+  double volume(int link, int slot) const;
+
+  /// Charging volume of `link` under the q-th percentile scheme, computed
+  /// over `period_slots` intervals (>= num_slots(); unrecorded slots are
+  /// zero-traffic, matching a mostly idle charging period). q in (0, 100].
+  double charged_volume(int link, double q, int period_slots) const;
+
+  /// Convenience: q-th percentile over exactly the observed slots.
+  double charged_volume(int link, double q) const {
+    return charged_volume(link, q, num_slots_);
+  }
+
+  /// Total money across links: sum_l cost_fn(l).evaluate(charged_volume).
+  double total_cost(const std::vector<CostFunction>& link_costs, double q,
+                    int period_slots) const;
+
+ private:
+  std::vector<std::vector<double>> series_;  // [link][slot]
+  int num_slots_ = 0;
+};
+
+}  // namespace postcard::charging

@@ -1,0 +1,272 @@
+#include "core/column_generation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "lp/simplex.h"
+#include "net/time_expanded.h"
+
+namespace postcard::core {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kFlowEps = 1e-7;
+}  // namespace
+
+PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
+                                        const charging::ChargeState& charge,
+                                        int slot,
+                                        const std::vector<net::FileRequest>& files,
+                                        const PathSolveOptions& options) {
+  PathSolveResult result;
+  if (files.empty()) {
+    result.ok = true;
+    result.feasible = true;
+    result.objective = charge.cost_per_interval(topology);
+    return result;
+  }
+  for (const net::FileRequest& f : files) {
+    validate(f, topology);
+  }
+
+  const int horizon = net::max_deadline(files);
+  const net::TimeExpandedGraph graph(
+      topology, slot, horizon,
+      [&](int link, int s) {
+        return std::max(0.0,
+                        topology.link(link).capacity - charge.committed(link, s));
+      });
+  const int n = topology.num_datacenters();
+  const int num_files = static_cast<int>(files.size());
+  const int num_arcs = graph.num_arcs();
+
+  // ---- Restricted master: X, z, and the fixed row structure.
+  lp::LpModel master;
+  std::vector<int> xv(topology.num_links());
+  for (int l = 0; l < topology.num_links(); ++l) {
+    xv[l] = master.add_variable(charge.charged(l), lp::kInfinity,
+                                topology.link(l).unit_cost);
+  }
+  std::vector<int> zv(files.size());
+  std::vector<int> demand_row(files.size());
+  for (int k = 0; k < num_files; ++k) {
+    zv[k] = master.add_variable(0.0, files[k].size, options.unrouted_cost);
+    demand_row[k] = master.add_constraint(files[k].size, files[k].size);
+    master.add_coefficient(demand_row[k], zv[k], 1.0);
+  }
+  std::vector<int> cap_row(num_arcs, -1), chg_row(num_arcs, -1);
+  for (int a = 0; a < num_arcs; ++a) {
+    const net::TimeArc& arc = graph.arcs()[a];
+    if (arc.storage()) continue;
+    cap_row[a] = master.add_constraint(-lp::kInfinity, arc.capacity);
+    chg_row[a] = master.add_constraint(
+        -lp::kInfinity, -charge.committed(arc.link_index, slot + arc.layer));
+    master.add_coefficient(chg_row[a], xv[arc.link_index], -1.0);
+  }
+
+  struct PathColumn {
+    int var;
+    int file;
+    std::vector<int> arcs;
+  };
+  std::vector<PathColumn> columns;
+  // Degenerate master duals can re-price an existing path negative without
+  // any possible improvement; adding it again would loop forever.
+  std::set<std::pair<int, std::vector<int>>> seen_paths;
+
+  // Per-file arc usability (deadline subgraph + storage ablation).
+  auto usable = [&](int k, const net::TimeArc& arc) {
+    if (arc.layer >= files[k].max_transfer_slots) return false;
+    if (arc.storage() && !options.allow_storage &&
+        arc.from_node != files[k].source &&
+        arc.from_node != files[k].destination) {
+      return false;
+    }
+    return true;
+  };
+
+  lp::RevisedSimplex::Options simplex_opts;
+  simplex_opts.feas_tol = options.master_lp.feas_tol;
+  simplex_opts.opt_tol = options.master_lp.opt_tol;
+  if (options.master_lp.max_iterations > 0) {
+    simplex_opts.max_iterations = options.master_lp.max_iterations;
+  }
+  lp::RevisedSimplex simplex(simplex_opts);
+  lp::RevisedSimplex::WarmStart warm;  // reused across pricing rounds
+
+  lp::Solution sol;
+  linalg::Vector incumbent_duals;  // duals at the best Lagrangian bound
+  double best_objective = std::numeric_limits<double>::infinity();
+  int stalled = 0;
+  std::vector<double> dist(static_cast<std::size_t>(n) * (horizon + 1));
+  std::vector<int> pred(static_cast<std::size_t>(n) * (horizon + 1));
+
+  // POSTCARD_CG_TRACE=1 prints per-round progress to stderr (debug aid).
+  const bool trace = std::getenv("POSTCARD_CG_TRACE") != nullptr;
+
+  for (result.rounds = 0; result.rounds < options.max_rounds; ++result.rounds) {
+    const auto t0 = std::chrono::steady_clock::now();
+    // Direct simplex call (no presolve): exact duals for every master row
+    // plus a warm start from the previous round's basis.
+    sol = simplex.solve(master, warm.basis.empty() ? nullptr : &warm);
+    warm = simplex.extract_warm_start();
+    result.lp_iterations += sol.iterations;
+    result.master_status = sol.status;
+    if (trace) {
+      std::fprintf(
+          stderr, "cg round %d: cols=%zu status=%s iters=%ld obj=%.4f %.2fs\n",
+          result.rounds, columns.size(), lp::to_string(sol.status),
+          sol.iterations, sol.objective,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    if (!sol.optimal()) return result;  // ok stays false
+
+    // ---- Pricing: per file, the path maximizing the dual arc weights under
+    // the supplied duals. Returns the Lagrangian slack sum_k F_k*min(0,rc_k)
+    // and appends any new (deduplicated) improving columns.
+    auto price = [&](const linalg::Vector& duals, bool* any_added) {
+      double slack = 0.0;
+      double dual_scale = 1.0;
+      for (double y : duals) dual_scale = std::max(dual_scale, std::abs(y));
+      for (int k = 0; k < num_files; ++k) {
+        const int deadline = files[k].max_transfer_slots;
+        std::fill(dist.begin(), dist.end(), kNegInf);
+        std::fill(pred.begin(), pred.end(), -1);
+        dist[files[k].source] = 0.0;  // (source, layer 0)
+        for (int layer = 0; layer < deadline; ++layer) {
+          const auto [begin, end] = graph.layer_arc_range(layer);
+          for (int a = begin; a < end; ++a) {
+            const net::TimeArc& arc = graph.arcs()[a];
+            if (!usable(k, arc)) continue;
+            const double from = dist[layer * n + arc.from_node];
+            if (from == kNegInf) continue;
+            const double w =
+                arc.storage() ? 0.0 : duals[cap_row[a]] + duals[chg_row[a]];
+            double& to = dist[(layer + 1) * n + arc.to_node];
+            if (from + w > to) {
+              to = from + w;
+              pred[(layer + 1) * n + arc.to_node] = a;
+            }
+          }
+        }
+        const double best = dist[deadline * n + files[k].destination];
+        if (best == kNegInf) continue;  // no path within the deadline
+        const double reduced_cost = -duals[demand_row[k]] - best;
+        if (reduced_cost < 0.0) slack += files[k].size * reduced_cost;
+        if (reduced_cost >= -options.pricing_tol * dual_scale) continue;
+
+        PathColumn col;
+        col.file = k;
+        int node = files[k].destination, layer = deadline;
+        while (layer > 0) {
+          const int a = pred[layer * n + node];
+          col.arcs.push_back(a);
+          node = graph.arcs()[a].from_node;
+          --layer;
+        }
+        std::reverse(col.arcs.begin(), col.arcs.end());
+        if (!seen_paths.insert({k, col.arcs}).second) continue;  // duplicate
+        col.var = master.add_variable(0.0, lp::kInfinity, 0.0);
+        master.add_coefficient(demand_row[k], col.var, 1.0);
+        for (int a : col.arcs) {
+          if (cap_row[a] >= 0) {
+            master.add_coefficient(cap_row[a], col.var, 1.0);
+            master.add_coefficient(chg_row[a], col.var, 1.0);
+          }
+        }
+        columns.push_back(std::move(col));
+        *any_added = true;
+      }
+      return slack;
+    };
+
+    // True-dual pricing drives the Lagrangian bound (valid for any duals,
+    // tightest at an optimum); incumbent-smoothed pricing (Wentges) damps
+    // the dual oscillation that otherwise drags out degenerate tails.
+    bool added = false;
+    const double slack = price(sol.duals, &added);
+    const double lb = sol.objective + slack;
+    if (lb > result.lower_bound) {
+      result.lower_bound = lb;
+      incumbent_duals = sol.duals;
+    }
+    if (!incumbent_duals.empty()) {
+      // Several smoothing weights per round: each yields a different path
+      // family, multiplying the columns gathered per master solve.
+      for (const double alpha : {0.5, 0.8, 0.95}) {
+        linalg::Vector smoothed(sol.duals.size());
+        for (std::size_t i = 0; i < smoothed.size(); ++i) {
+          smoothed[i] =
+              alpha * incumbent_duals[i] + (1.0 - alpha) * sol.duals[i];
+        }
+        price(smoothed, &added);
+      }
+    }
+
+    if (!added) break;  // no improving path anywhere: LP optimum reached
+    if (sol.objective - result.lower_bound <=
+        options.relative_gap * (1.0 + std::abs(sol.objective))) {
+      ++result.rounds;
+      break;  // provably within the requested gap
+    }
+    // Stall detection on the monotone master objective.
+    if (!std::isfinite(best_objective) ||
+        sol.objective < best_objective -
+                            options.stall_tol * (1.0 + std::abs(best_objective))) {
+      best_objective = sol.objective;
+      stalled = 0;
+    } else if (options.stall_rounds > 0 && ++stalled >= options.stall_rounds) {
+      ++result.rounds;
+      break;
+    }
+  }
+  result.path_columns = static_cast<int>(columns.size());
+
+  // ---- Extract plans and the objective.
+  result.ok = true;
+  result.feasible = true;
+  result.unrouted.resize(files.size(), 0.0);
+  for (int k = 0; k < num_files; ++k) {
+    result.unrouted[k] = std::max(0.0, sol.x[zv[k]]);
+    if (result.unrouted[k] > kFlowEps * (1.0 + files[k].size)) {
+      result.feasible = false;
+    }
+  }
+  result.objective = 0.0;
+  for (int l = 0; l < topology.num_links(); ++l) {
+    result.objective += topology.link(l).unit_cost * sol.x[xv[l]];
+  }
+
+  std::vector<std::map<int, double>> per_file_arc(files.size());
+  for (const PathColumn& col : columns) {
+    const double flow = sol.x[col.var];
+    if (flow <= kFlowEps) continue;
+    for (int a : col.arcs) per_file_arc[col.file][a] += flow;
+  }
+  for (int k = 0; k < num_files; ++k) {
+    FilePlan plan;
+    plan.file_id = files[k].id;
+    for (const auto& [a, volume] : per_file_arc[k]) {
+      const net::TimeArc& arc = graph.arcs()[a];
+      plan.transfers.push_back({slot + arc.layer, arc.from_node, arc.to_node,
+                                volume, arc.link_index});
+    }
+    std::sort(plan.transfers.begin(), plan.transfers.end(),
+              [](const Transfer& a, const Transfer& b) {
+                if (a.slot != b.slot) return a.slot < b.slot;
+                if (a.from != b.from) return a.from < b.from;
+                return a.to < b.to;
+              });
+    result.plans.push_back(std::move(plan));
+  }
+  return result;
+}
+
+}  // namespace postcard::core

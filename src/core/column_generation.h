@@ -1,0 +1,81 @@
+// Path-based Dantzig-Wolfe column generation for the Postcard LP.
+//
+// The arc-flow formulation (core/formulation.h) is exact but hands the
+// simplex a massively degenerate conservation system: per-file flow balance
+// at every virtual node stalls the iteration on >90% zero-length pivots.
+// The path reformulation eliminates conservation entirely:
+//
+//   variables  f_p    flow on a source->destination path p through the
+//                     time-expanded DAG (storage arcs included), per file
+//              X_l    charged volume per link (epigraph), lb X_l(t-1)
+//              z_k    unrouted volume, big-M cost (keeps the restricted
+//                     master feasible; z_k > 0 at the end => infeasible)
+//   rows       demand      sum_p f_p + z_k = F_k            (K rows)
+//              capacity    sum_{p over (l,n)} f_p <= residual_{l,n}
+//              epigraph    sum_{p over (l,n)} f_p - X_l <= -committed_{l,n}
+//   objective  min sum_l a_l X_l + M sum_k z_k
+//
+// Pricing: a path column for file k has reduced cost
+//   -sigma_k - sum_{(l,n) in p} (mu_{l,n} + nu_{l,n}),
+// so the most attractive path maximizes the sum of (mu + nu) arc weights —
+// a longest-path DP over the layered DAG, O(arcs) per file. Columns are
+// added until no path prices negative; the result is the exact LP optimum
+// of the same polytope (every DAG flow decomposes into path flows).
+//
+// Restrictions vs the direct formulation: storage must be uncapped (finite
+// storage_capacity would need storage rows in the master); elastic/pinned
+// modes are not provided here (the Sec. VI extensions run at small scale on
+// the direct formulation).
+#pragma once
+
+#include <vector>
+
+#include "charging/charge_state.h"
+#include "core/formulation.h"
+#include "core/plan.h"
+#include "lp/solver.h"
+#include "net/file_request.h"
+#include "net/topology.h"
+
+namespace postcard::core {
+
+struct PathSolveOptions {
+  lp::SolverOptions master_lp;
+  int max_rounds = 2000;       // pricing rounds before giving up
+  double pricing_tol = 1e-7;   // reduced-cost threshold for new columns
+  double unrouted_cost = 1e6;  // big-M on z_k
+  bool allow_storage = true;   // mirror of FormulationOptions::allow_storage
+  // Convergence: stop once the Lagrangian bound proves the master objective
+  // is within this relative gap of the true LP optimum. CG objectives have a
+  // long tail of vanishing improvements; the bound cuts it off with a
+  // certificate instead of an arbitrary round limit.
+  double relative_gap = 1e-5;
+  // Secondary stop: the master objective is monotone, so a long run of
+  // rounds without relative improvement beyond `stall_tol` means the
+  // remaining columns only re-express alternative optima. 0 disables.
+  int stall_rounds = 40;
+  double stall_tol = 1e-9;
+};
+
+struct PathSolveResult {
+  bool ok = false;             // master solved and all demand routed
+  bool feasible = false;       // z == 0 (all files fully routed)
+  double objective = 0.0;      // sum a_l X_l at the optimum
+  std::vector<double> unrouted;  // per file (input order): z_k volume
+  std::vector<FilePlan> plans;
+  long lp_iterations = 0;      // summed across master solves
+  int rounds = 0;
+  int path_columns = 0;
+  double lower_bound = 0.0;    // Lagrangian bound on the LP optimum
+  lp::SolveStatus master_status = lp::SolveStatus::kNumericalFailure;
+};
+
+/// Solves the slot-t Postcard problem for `files` against `charge` by column
+/// generation. Read-only with respect to the charge state.
+PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
+                                        const charging::ChargeState& charge,
+                                        int slot,
+                                        const std::vector<net::FileRequest>& files,
+                                        const PathSolveOptions& options = {});
+
+}  // namespace postcard::core

@@ -1,0 +1,151 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace postcard::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+GreedyScheduler::GreedyScheduler(net::Topology topology, GreedyOptions options)
+    : topology_(std::move(topology)),
+      options_(options),
+      charge_(topology_.num_links()) {}
+
+sim::ScheduleOutcome GreedyScheduler::schedule(
+    int slot, const std::vector<net::FileRequest>& files) {
+  sim::ScheduleOutcome outcome;
+  last_plans_.clear();
+  std::vector<net::FileRequest> batch = files;
+  for (const net::FileRequest& f : batch) validate(f, topology_);
+  // Most-urgent-first: smallest deadline, largest size breaking ties.
+  std::stable_sort(batch.begin(), batch.end(), [](const auto& a, const auto& b) {
+    if (a.max_transfer_slots != b.max_transfer_slots) {
+      return a.max_transfer_slots < b.max_transfer_slots;
+    }
+    return a.size > b.size;
+  });
+
+  for (const net::FileRequest& file : batch) {
+    charging::ChargeState scratch = charge_;  // roll back on failure
+    FilePlan plan;
+    if (route_file(file, scratch, plan)) {
+      charge_ = std::move(scratch);
+      outcome.accepted_ids.push_back(file.id);
+      last_plans_.push_back(std::move(plan));
+    } else {
+      outcome.rejected_ids.push_back(file.id);
+      outcome.rejected_volume += file.size;
+    }
+  }
+  (void)slot;
+  return outcome;
+}
+
+bool GreedyScheduler::route_file(const net::FileRequest& file,
+                                 charging::ChargeState& scratch,
+                                 FilePlan& plan) const {
+  const int n = topology_.num_datacenters();
+  const int deadline = file.max_transfer_slots;
+  const int t0 = file.release_slot;
+  plan.file_id = file.id;
+  // Aggregated volumes per (layer, from, to, link) for the final plan.
+  std::map<std::tuple<int, int, int, int>, double> moved;
+
+  double remaining = file.size;
+  for (int chunk_round = 0;
+       remaining > kEps && chunk_round < options_.max_chunks_per_file;
+       ++chunk_round) {
+    // Cheapest 1-GB path by marginal charge: DP over (dc, layer).
+    std::vector<double> dist(static_cast<std::size_t>(n) * (deadline + 1), kInf);
+    // Predecessor: encodes (prev_dc, link or -1 for storage).
+    std::vector<std::pair<int, int>> pred(
+        static_cast<std::size_t>(n) * (deadline + 1), {-1, -2});
+    dist[file.source] = 0.0;
+    for (int layer = 0; layer < deadline; ++layer) {
+      for (int from = 0; from < n; ++from) {
+        const double base = dist[layer * n + from];
+        if (base == kInf) continue;
+        // Storage arc (self-loop), free and uncapped.
+        const bool storage_ok =
+            options_.allow_storage || from == file.source ||
+            from == file.destination;
+        if (storage_ok && base < dist[(layer + 1) * n + from]) {
+          dist[(layer + 1) * n + from] = base;
+          pred[(layer + 1) * n + from] = {from, -1};
+        }
+        for (int to = 0; to < n; ++to) {
+          const int link = topology_.link_index(from, to);
+          if (link < 0) continue;
+          const int s = t0 + layer;
+          if (topology_.link(link).capacity - scratch.committed(link, s) <=
+              kEps) {
+            continue;  // slot full
+          }
+          const double marginal = scratch.free_headroom(link, s) > kEps
+                                      ? 0.0
+                                      : topology_.link(link).unit_cost;
+          if (base + marginal < dist[(layer + 1) * n + to] - 1e-15) {
+            dist[(layer + 1) * n + to] = base + marginal;
+            pred[(layer + 1) * n + to] = {from, link};
+          }
+        }
+      }
+    }
+    if (dist[deadline * n + file.destination] == kInf) return false;
+
+    // Walk the path backwards, collecting arcs and the feasible chunk size.
+    std::vector<std::tuple<int, int, int, int>> path;  // (layer, from, to, link)
+    double chunk = remaining;
+    int hops = 0;
+    int node = file.destination;
+    for (int layer = deadline; layer > 0; --layer) {
+      const auto [prev, link] = pred[layer * n + node];
+      path.emplace_back(layer - 1, prev, node, link);
+      if (link >= 0) {
+        ++hops;
+        const int s = t0 + layer - 1;
+        chunk = std::min(chunk, topology_.link(link).capacity -
+                                    scratch.committed(link, s));
+        // Keep "free" arcs free for the whole chunk so the path cost
+        // estimate stays valid.
+        const double headroom = scratch.free_headroom(link, s);
+        if (headroom > kEps) chunk = std::min(chunk, headroom);
+      }
+      node = prev;
+    }
+    // Spreading heuristic: this spatial path can be restarted in
+    // deadline - hops + 1 different slots; under 100-th percentile charging
+    // the charge tracks the per-slot MAX, so splitting the remaining volume
+    // evenly across the possible starts is strictly cheaper than bursting.
+    const int starts = std::max(1, deadline - hops + 1);
+    chunk = std::min(chunk, std::max(remaining / starts, kEps * 10.0));
+    if (chunk <= kEps) return false;
+
+    for (const auto& [layer, from, to, link] : path) {
+      moved[{layer, from, to, link}] += chunk;
+      if (link >= 0) scratch.commit(link, t0 + layer, chunk);
+    }
+    remaining -= chunk;
+  }
+  if (remaining > kEps * (1.0 + file.size)) return false;
+
+  for (const auto& [key, volume] : moved) {
+    const auto& [layer, from, to, link] = key;
+    plan.transfers.push_back({t0 + layer, from, to, volume, link});
+  }
+  std::sort(plan.transfers.begin(), plan.transfers.end(),
+            [](const Transfer& a, const Transfer& b) {
+              if (a.slot != b.slot) return a.slot < b.slot;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  return true;
+}
+
+}  // namespace postcard::core

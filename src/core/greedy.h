@@ -1,0 +1,58 @@
+// Greedy store-and-forward heuristic (non-LP baseline).
+//
+// A natural engineering alternative to Postcard's per-slot LP: route each
+// file independently, chunk by chunk, along the currently cheapest path
+// through the time-expanded graph, where an arc is "free" when the link
+// still has headroom below its charged volume X_ij in that slot and costs
+// a_ij per GB otherwise. Files are processed most-urgent-first (smallest
+// deadline, then largest size).
+//
+// The heuristic shares Postcard's model exactly (same slotted transfers,
+// same storage arcs, same charge state) but replaces joint optimization
+// with sequential shortest paths — the bench_greedy_ablation binary
+// measures how much the LP's coordination is worth.
+#pragma once
+
+#include <vector>
+
+#include "charging/charge_state.h"
+#include "core/plan.h"
+#include "net/file_request.h"
+#include "net/topology.h"
+#include "sim/policy.h"
+
+namespace postcard::core {
+
+struct GreedyOptions {
+  int max_chunks_per_file = 256;  // path augmentations before giving up
+  bool allow_storage = true;      // mirror of the Postcard ablation knob
+};
+
+class GreedyScheduler : public sim::SchedulingPolicy {
+ public:
+  explicit GreedyScheduler(net::Topology topology,
+                           GreedyOptions options = GreedyOptions{});
+
+  sim::ScheduleOutcome schedule(
+      int slot, const std::vector<net::FileRequest>& files) override;
+  double cost_per_interval() const override {
+    return charge_.cost_per_interval(topology_);
+  }
+  const charging::ChargeState& charge_state() const override { return charge_; }
+  std::string name() const override { return "greedy store-and-forward"; }
+
+  const std::vector<FilePlan>& last_plans() const { return last_plans_; }
+
+ private:
+  /// Routes one file against `scratch` (a working copy of the charge state).
+  /// On success the plan is returned and scratch holds the updated ledger.
+  bool route_file(const net::FileRequest& file, charging::ChargeState& scratch,
+                  FilePlan& plan) const;
+
+  net::Topology topology_;
+  GreedyOptions options_;
+  charging::ChargeState charge_;
+  std::vector<FilePlan> last_plans_;
+};
+
+}  // namespace postcard::core

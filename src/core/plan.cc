@@ -1,0 +1,106 @@
+#include "core/plan.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace postcard::core {
+
+namespace {
+std::string describe(const Transfer& t) {
+  std::ostringstream os;
+  if (t.storage()) {
+    os << "store " << t.volume << " GB at D" << t.from << " during slot " << t.slot;
+  } else {
+    os << "send " << t.volume << " GB D" << t.from << "->D" << t.to
+       << " during slot " << t.slot;
+  }
+  return os.str();
+}
+}  // namespace
+
+bool verify_plan(const FilePlan& plan, const net::FileRequest& file,
+                 const net::Topology& topology, double tolerance,
+                 std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+
+  const int first_slot = file.release_slot;
+  const int last_slot = file.release_slot + file.max_transfer_slots - 1;
+
+  for (const Transfer& t : plan.transfers) {
+    if (t.volume < -tolerance) return fail("negative volume: " + describe(t));
+    if (t.slot < first_slot || t.slot > last_slot) {
+      return fail("transfer outside deadline window: " + describe(t));
+    }
+    if (t.storage()) {
+      if (t.from != t.to) return fail("storage transfer must be a self-loop");
+    } else {
+      if (!topology.has_link(t.from, t.to)) {
+        return fail("transfer over a non-existent link: " + describe(t));
+      }
+    }
+  }
+
+  // Re-simulate holdings. holdings[node] = volume of this file present at
+  // the node at the *start* of the current slot.
+  std::map<int, double> holdings;
+  holdings[file.source] = file.size;
+  for (int slot = first_slot; slot <= last_slot; ++slot) {
+    std::map<int, double> outgoing;  // per node, total moved this slot
+    std::map<int, double> next;      // holdings at start of slot+1
+    for (const Transfer& t : plan.transfers) {
+      if (t.slot != slot) continue;
+      outgoing[t.from] += t.volume;
+      next[t.to] += t.volume;
+    }
+    for (const auto& [node, vol] : outgoing) {
+      const double have = holdings.count(node) ? holdings[node] : 0.0;
+      if (vol > have + tolerance) {
+        std::ostringstream os;
+        os << "D" << node << " moves " << vol << " GB in slot " << slot
+           << " but holds only " << have;
+        return fail(os.str());
+      }
+    }
+    // Store-and-forward: whatever is held must be moved or stored; volume
+    // left unmentioned would silently vanish from the network. The
+    // destination is exempt — delivered data rests there implicitly.
+    for (const auto& [node, have] : holdings) {
+      const double moved = outgoing.count(node) ? outgoing[node] : 0.0;
+      if (node == file.destination) {
+        next[node] += have - moved;
+        continue;
+      }
+      if (std::abs(moved - have) > tolerance) {
+        std::ostringstream os;
+        os << "D" << node << " holds " << have << " GB at slot " << slot
+           << " but moves " << moved << " (must forward or store all of it)";
+        return fail(os.str());
+      }
+    }
+    holdings = std::move(next);
+  }
+
+  const double delivered =
+      holdings.count(file.destination) ? holdings[file.destination] : 0.0;
+  if (std::abs(delivered - file.size) > tolerance * (1.0 + file.size)) {
+    std::ostringstream os;
+    os << "delivered " << delivered << " of " << file.size
+       << " GB by the deadline";
+    return fail(os.str());
+  }
+  for (const auto& [node, vol] : holdings) {
+    if (node != file.destination && vol > tolerance) {
+      std::ostringstream os;
+      os << vol << " GB stranded at D" << node << " after the deadline";
+      return fail(os.str());
+    }
+  }
+  if (error) error->clear();
+  return true;
+}
+
+}  // namespace postcard::core

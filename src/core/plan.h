@@ -1,0 +1,53 @@
+// Transfer plans: the routing and scheduling decisions Postcard commits.
+//
+// A plan lists, per time slot, which fraction of a file moves over which
+// overlay link and which fraction is held over (stored) at which datacenter.
+// verify_plan() checks the store-and-forward invariants independently of the
+// LP that produced the plan — it re-simulates holdings slot by slot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/file_request.h"
+#include "net/topology.h"
+
+namespace postcard::core {
+
+/// One movement of part of a file during one slot. from == to (link == -1)
+/// is a holdover: the volume stays stored at the datacenter for this slot.
+struct Transfer {
+  int slot = 0;
+  int from = 0;
+  int to = 0;
+  double volume = 0.0;  // GB
+  int link = -1;        // topology link index; -1 for storage
+  bool storage() const { return link < 0; }
+};
+
+struct FilePlan {
+  int file_id = 0;
+  std::vector<Transfer> transfers;  // ordered by slot
+
+  /// Volume arriving at `node` at the *end* of `slot` (start of slot+1).
+  double arriving(int node, int slot) const {
+    double v = 0.0;
+    for (const Transfer& t : transfers) {
+      if (t.slot == slot && t.to == node && !t.storage()) v += t.volume;
+    }
+    return v;
+  }
+};
+
+/// Re-simulates the plan and checks the store-and-forward invariants:
+///   * transfers stay within [release, release + T_k),
+///   * volume moved out of a datacenter never exceeds what it holds,
+///   * everything held is either forwarded or explicitly stored each slot,
+///   * the full file size reaches the destination by the deadline,
+///   * only existing topology links are used.
+/// Returns true when valid; otherwise false with a diagnostic in `error`.
+bool verify_plan(const FilePlan& plan, const net::FileRequest& file,
+                 const net::Topology& topology, double tolerance,
+                 std::string* error = nullptr);
+
+}  // namespace postcard::core

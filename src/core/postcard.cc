@@ -1,0 +1,102 @@
+#include "core/postcard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/column_generation.h"
+
+namespace postcard::core {
+
+PostcardController::PostcardController(net::Topology topology,
+                                       PostcardOptions options)
+    : topology_(std::move(topology)),
+      options_(options),
+      charge_(topology_.num_links()) {
+  if (options_.formulation.elastic_demand || options_.formulation.pin_charge) {
+    throw std::invalid_argument(
+        "elastic/pinned formulations belong to the Sec. VI extensions, not "
+        "the online controller");
+  }
+}
+
+sim::ScheduleOutcome PostcardController::schedule(
+    int slot, const std::vector<net::FileRequest>& files) {
+  sim::ScheduleOutcome outcome;
+  last_plans_.clear();
+  std::vector<net::FileRequest> batch = files;
+  for (const net::FileRequest& f : batch) validate(f, topology_);
+
+  while (!batch.empty()) {
+    std::vector<FilePlan> plans;
+    std::vector<int> unroutable;
+    if (try_schedule(slot, batch, plans, outcome, unroutable)) {
+      for (const FilePlan& plan : plans) {
+        for (const Transfer& t : plan.transfers) {
+          if (!t.storage()) charge_.commit(t.link, t.slot, t.volume);
+        }
+        outcome.accepted_ids.push_back(plan.file_id);
+      }
+      last_plans_ = std::move(plans);
+      return outcome;
+    }
+    // Admission: drop exactly the files the relaxed master could not route
+    // (known when column generation ran), otherwise fall back to dropping
+    // the file with the steepest rate requirement.
+    if (unroutable.empty()) {
+      unroutable.push_back(batch[net::heaviest_file(batch)].id);
+    }
+    for (int id : unroutable) {
+      const auto it = std::find_if(batch.begin(), batch.end(),
+                                   [id](const net::FileRequest& f) {
+                                     return f.id == id;
+                                   });
+      if (it == batch.end()) continue;
+      outcome.rejected_ids.push_back(it->id);
+      outcome.rejected_volume += it->size;
+      batch.erase(it);
+    }
+  }
+  return outcome;
+}
+
+bool PostcardController::try_schedule(int slot,
+                                      const std::vector<net::FileRequest>& files,
+                                      std::vector<FilePlan>& plans,
+                                      sim::ScheduleOutcome& outcome,
+                                      std::vector<int>& unroutable_ids) {
+  const bool can_use_paths =
+      options_.use_column_generation &&
+      !std::isfinite(options_.formulation.storage_capacity);
+  if (can_use_paths) {
+    PathSolveOptions popts;
+    popts.master_lp = options_.lp;
+    popts.allow_storage = options_.formulation.allow_storage;
+    popts.relative_gap = options_.cg_relative_gap;
+    popts.stall_rounds = options_.cg_stall_rounds;
+    const PathSolveResult r =
+        solve_postcard_by_paths(topology_, charge_, slot, files, popts);
+    outcome.lp_iterations += r.lp_iterations;
+    ++outcome.lp_solves;
+    if (!r.ok) return false;
+    if (!r.feasible) {
+      for (std::size_t k = 0; k < files.size(); ++k) {
+        if (r.unrouted[k] > 1e-6 * (1.0 + files[k].size)) {
+          unroutable_ids.push_back(files[k].id);
+        }
+      }
+      return false;
+    }
+    plans = r.plans;
+    return true;
+  }
+  TimeExpandedFormulation formulation(topology_, charge_, slot, files,
+                                      options_.formulation);
+  const lp::Solution solution = lp::solve(formulation.model(), options_.lp);
+  outcome.lp_iterations += solution.iterations;
+  ++outcome.lp_solves;
+  if (!solution.optimal()) return false;
+  plans = formulation.extract_plans(solution);
+  return true;
+}
+
+}  // namespace postcard::core

@@ -1,0 +1,79 @@
+// The Postcard online controller (Sec. III & V).
+//
+// At every slot t the controller receives the newly released batch K(t),
+// builds the time-expanded LP (6)-(10) against the residual capacities and
+// charged volumes left by all previous plans, solves it, and commits the
+// resulting store-and-forward plans: the planned M^k_ij(n) volumes are
+// entered into the commitment ledger (so later batches see reduced
+// capacities, the "available link capacity" c_ij(t) of Sec. III) and into
+// the charge state (raising X_ij where a slot's volume exceeds the previous
+// maximum).
+//
+// The paper assumes every batch is schedulable; when a batch is not (tight
+// capacities + deadlines), the controller drops the file with the largest
+// required rate and retries, reporting the rejected volume.
+#pragma once
+
+#include <vector>
+
+#include "charging/charge_state.h"
+#include "core/formulation.h"
+#include "core/plan.h"
+#include "lp/solver.h"
+#include "net/file_request.h"
+#include "net/topology.h"
+#include "sim/policy.h"
+
+namespace postcard::core {
+
+struct PostcardOptions {
+  lp::SolverOptions lp;
+  FormulationOptions formulation;  // storage knobs for the ablations
+  // Solve each slot by path-based column generation (core/column_generation.h)
+  // instead of the direct arc-flow LP. Identical optimum, far faster on the
+  // degenerate time-expanded systems; automatically falls back to the direct
+  // formulation when the storage capacity is capped (the path master has no
+  // storage rows).
+  bool use_column_generation = true;
+  // Column-generation stopping knobs (see PathSolveOptions).
+  double cg_relative_gap = 1e-4;
+  int cg_stall_rounds = 30;
+};
+
+class PostcardController : public sim::SchedulingPolicy {
+ public:
+  explicit PostcardController(net::Topology topology,
+                              PostcardOptions options = PostcardOptions{});
+
+  sim::ScheduleOutcome schedule(
+      int slot, const std::vector<net::FileRequest>& files) override;
+  double cost_per_interval() const override {
+    return charge_.cost_per_interval(topology_);
+  }
+  const charging::ChargeState& charge_state() const override { return charge_; }
+  std::string name() const override {
+    return options_.formulation.allow_storage ? "postcard"
+                                              : "postcard (no storage)";
+  }
+
+  /// Plans committed by the most recent schedule() call.
+  const std::vector<FilePlan>& last_plans() const { return last_plans_; }
+
+  const net::Topology& topology() const { return topology_; }
+
+ private:
+  /// Attempts to schedule the whole batch. On infeasibility, fills
+  /// `unroutable_ids` with the files the column-generation master could not
+  /// route (empty when the direct formulation was used, which only reports
+  /// infeasible/feasible).
+  bool try_schedule(int slot, const std::vector<net::FileRequest>& files,
+                    std::vector<FilePlan>& plans, sim::ScheduleOutcome& outcome,
+                    std::vector<int>& unroutable_ids);
+
+  net::Topology topology_;
+  PostcardOptions options_;
+  charging::ChargeState charge_;
+  std::vector<FilePlan> last_plans_;
+};
+
+}  // namespace postcard::core

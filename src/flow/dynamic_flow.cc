@@ -1,0 +1,44 @@
+#include "flow/dynamic_flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "flow/shortest_path.h"
+
+namespace postcard::flow {
+
+DynamicFlowResult max_dynamic_flow(FlowGraph& graph, int source, int sink,
+                                   int horizon) {
+  if (horizon < 0) throw std::invalid_argument("negative horizon");
+  DynamicFlowResult result;
+  std::vector<double> potential(static_cast<std::size_t>(graph.num_nodes()), 0.0);
+  for (;;) {
+    const ShortestPathTree tree = dijkstra(graph, source, &potential);
+    if (!tree.reached(sink)) break;
+    for (int v = 0; v < graph.num_nodes(); ++v) {
+      if (tree.reached(v)) potential[v] += tree.distance[v];
+    }
+    // True transit time of the path = potential difference.
+    const double transit = potential[sink] - potential[source];
+    const int hops = static_cast<int>(std::llround(transit));
+    if (hops > horizon) break;  // arrives too late even if started first
+
+    const std::vector<int> path = tree_path(graph, tree, sink);
+    double bottleneck = kUnreachable;
+    for (int arc : path) bottleneck = std::min(bottleneck, graph.residual(arc));
+    if (bottleneck <= kResidualEps) break;
+    for (int arc : path) graph.push(arc, bottleneck);
+
+    TemporalPath tp;
+    tp.arcs = path;
+    tp.rate = bottleneck;
+    tp.transit = hops;
+    tp.repetitions = horizon - hops + 1;
+    result.value += bottleneck * tp.repetitions;
+    result.paths.push_back(std::move(tp));
+  }
+  return result;
+}
+
+}  // namespace postcard::flow

@@ -1,0 +1,46 @@
+// Maximum dynamic flow via temporally repeated flows (Ford & Fulkerson 1958).
+//
+// The dynamic flow problem (Sec. IV's inspiration): how much traffic can move
+// from s to d within T time intervals when each arc has a capacity per
+// interval and a transit time? Ford-Fulkerson showed the optimum is attained
+// by a *temporally repeated* static flow: decompose a static flow into paths
+// and resend each path-flow every interval for as long as it still arrives
+// in time. A path of transit h repeated from interval 0 yields (T - h + 1)
+// useful repetitions.
+//
+// Implementation: successive shortest augmenting paths by transit time
+// (Dijkstra + potentials); a path found at distance h contributes
+// (T - h + 1) * bottleneck and augmentation stops once h > T. This greedy is
+// exactly the classical algorithm (it computes a min-cost flow whose cost is
+// transit time).
+//
+// In this library the module is a cross-check: for a single commodity, the
+// maximum dynamic flow equals the LP maximum on the time-expanded graph —
+// storage cannot raise single-commodity throughput (tests/flow assert this).
+#pragma once
+
+#include <vector>
+
+#include "flow/graph.h"
+
+namespace postcard::flow {
+
+struct TemporalPath {
+  std::vector<int> arcs;   // static path, arc ids of the input graph
+  double rate = 0.0;       // flow sent per interval along this path
+  int transit = 0;         // hops (total transit time)
+  int repetitions = 0;     // T - transit + 1
+};
+
+struct DynamicFlowResult {
+  double value = 0.0;                // total volume delivered within T
+  std::vector<TemporalPath> paths;   // temporally repeated decomposition
+};
+
+/// Maximum s->d dynamic flow within `horizon` intervals. Arc costs of
+/// `graph` are interpreted as integral transit times (>= 0); arcs with zero
+/// transit are allowed. The graph is left holding the chosen static flow.
+DynamicFlowResult max_dynamic_flow(FlowGraph& graph, int source, int sink,
+                                   int horizon);
+
+}  // namespace postcard::flow

@@ -1,0 +1,36 @@
+#include "flow/graph.h"
+
+#include <stdexcept>
+
+namespace postcard::flow {
+
+FlowGraph::FlowGraph(int num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+int FlowGraph::add_arc(int from, int to, double capacity, double cost) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    throw std::out_of_range("arc endpoint outside graph");
+  }
+  if (capacity < 0.0) throw std::invalid_argument("negative capacity");
+  const int id = num_arcs();
+  to_.push_back(to);
+  capacity_.push_back(capacity);
+  cost_.push_back(cost);
+  flow_.push_back(0.0);
+  adjacency_[from].push_back(id);
+  // Reverse residual arc.
+  to_.push_back(from);
+  capacity_.push_back(0.0);
+  cost_.push_back(-cost);
+  flow_.push_back(0.0);
+  adjacency_[to].push_back(id + 1);
+  return id;
+}
+
+void FlowGraph::reset_flow() {
+  for (double& f : flow_) f = 0.0;
+}
+
+}  // namespace postcard::flow

@@ -1,0 +1,51 @@
+// Residual flow graph shared by the combinatorial algorithms.
+//
+// Arcs are stored in pairs (arc, reverse arc) so residual updates are O(1):
+// arc 2k and 2k+1 are mutual reverses (xor trick). Capacities are doubles —
+// the algorithms below are used on LP-scale data, so tolerant comparisons
+// are applied where emptiness matters.
+#pragma once
+
+#include <vector>
+
+namespace postcard::flow {
+
+class FlowGraph {
+ public:
+  explicit FlowGraph(int num_nodes);
+
+  /// Adds a directed arc u -> v; returns the arc id. The reverse residual
+  /// arc (id ^ 1) is created automatically with zero capacity.
+  int add_arc(int from, int to, double capacity, double cost = 0.0);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_arcs() const { return static_cast<int>(to_.size()); }
+
+  const std::vector<int>& out_arcs(int node) const { return adjacency_[node]; }
+  int head(int arc) const { return to_[arc]; }
+  int tail(int arc) const { return to_[arc ^ 1]; }
+  double residual(int arc) const { return capacity_[arc] - flow_[arc]; }
+  double capacity(int arc) const { return capacity_[arc]; }
+  double cost(int arc) const { return cost_[arc]; }
+
+  /// Net flow on a forward arc (negative values appear on reverse arcs).
+  double flow(int arc) const { return flow_[arc]; }
+
+  /// Pushes `amount` through `arc`, pulling it back on the reverse arc.
+  void push(int arc, double amount) {
+    flow_[arc] += amount;
+    flow_[arc ^ 1] -= amount;
+  }
+
+  /// Clears all flow, keeping the structure.
+  void reset_flow();
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<int> to_;
+  std::vector<double> capacity_;
+  std::vector<double> cost_;
+  std::vector<double> flow_;
+};
+
+}  // namespace postcard::flow

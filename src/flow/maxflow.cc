@@ -1,0 +1,68 @@
+#include "flow/maxflow.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "flow/shortest_path.h"
+
+namespace postcard::flow {
+namespace {
+
+bool build_levels(const FlowGraph& g, int source, int sink,
+                  std::vector<int>& level) {
+  level.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<int> q;
+  q.push(source);
+  level[source] = 0;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int arc : g.out_arcs(u)) {
+      const int v = g.head(arc);
+      if (level[v] < 0 && g.residual(arc) > kResidualEps) {
+        level[v] = level[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level[sink] >= 0;
+}
+
+double blocking_dfs(FlowGraph& g, int u, int sink, double pushed,
+                    const std::vector<int>& level, std::vector<std::size_t>& next) {
+  if (u == sink) return pushed;
+  for (std::size_t& i = next[u]; i < g.out_arcs(u).size(); ++i) {
+    const int arc = g.out_arcs(u)[i];
+    const int v = g.head(arc);
+    if (level[v] != level[u] + 1 || g.residual(arc) <= kResidualEps) continue;
+    const double got = blocking_dfs(g, v, sink,
+                                    std::min(pushed, g.residual(arc)), level, next);
+    if (got > 0.0) {
+      g.push(arc, got);
+      return got;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double max_flow(FlowGraph& graph, int source, int sink) {
+  if (source == sink) throw std::invalid_argument("source equals sink");
+  double total = 0.0;
+  std::vector<int> level;
+  std::vector<std::size_t> next;
+  while (build_levels(graph, source, sink, level)) {
+    next.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
+    for (;;) {
+      const double pushed = blocking_dfs(
+          graph, source, sink, std::numeric_limits<double>::infinity(), level, next);
+      if (pushed <= 0.0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+}  // namespace postcard::flow

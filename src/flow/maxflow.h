@@ -1,0 +1,16 @@
+// Dinic's maximum-flow algorithm on a FlowGraph.
+//
+// Level graph + blocking flows; O(V^2 E) in general, far better on the
+// unit-ish networks used here. Flow is left on the graph so callers can read
+// the per-arc decomposition afterwards.
+#pragma once
+
+#include "flow/graph.h"
+
+namespace postcard::flow {
+
+/// Computes the maximum s-t flow; returns its value. Existing flow on the
+/// graph is treated as a (valid) starting point.
+double max_flow(FlowGraph& graph, int source, int sink);
+
+}  // namespace postcard::flow

@@ -1,0 +1,44 @@
+#include "flow/mincost.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "flow/shortest_path.h"
+
+namespace postcard::flow {
+
+MinCostFlowResult min_cost_flow(FlowGraph& graph, int source, int sink,
+                                double demand) {
+  if (demand < 0.0) throw std::invalid_argument("negative demand");
+  for (int a = 0; a < graph.num_arcs(); a += 2) {
+    if (graph.cost(a) < 0.0) {
+      throw std::invalid_argument("negative arc costs are not supported");
+    }
+  }
+
+  MinCostFlowResult result;
+  std::vector<double> potential(static_cast<std::size_t>(graph.num_nodes()), 0.0);
+  while (result.flow < demand - kResidualEps) {
+    const ShortestPathTree tree = dijkstra(graph, source, &potential);
+    if (!tree.reached(sink)) break;
+    // Update potentials with the new distances (unreached nodes keep theirs).
+    for (int v = 0; v < graph.num_nodes(); ++v) {
+      if (tree.reached(v)) potential[v] += tree.distance[v];
+    }
+    const std::vector<int> path = tree_path(graph, tree, sink);
+    double bottleneck = demand - result.flow;
+    for (int arc : path) bottleneck = std::min(bottleneck, graph.residual(arc));
+    if (bottleneck <= kResidualEps) break;
+    double path_cost = 0.0;
+    for (int arc : path) {
+      graph.push(arc, bottleneck);
+      path_cost += graph.cost(arc);
+    }
+    result.flow += bottleneck;
+    result.cost += path_cost * bottleneck;
+  }
+  result.satisfied = result.flow >= demand - 1e-7 * (1.0 + demand);
+  return result;
+}
+
+}  // namespace postcard::flow

@@ -1,0 +1,24 @@
+// Successive-shortest-path minimum-cost flow (Goldberg/Tarjan family,
+// potential-based variant).
+//
+// Requires non-negative arc costs on the initial graph (true for all uses in
+// this project: ISP prices and hop counts). Node potentials keep the reduced
+// costs non-negative so Dijkstra drives every augmentation.
+#pragma once
+
+#include "flow/graph.h"
+
+namespace postcard::flow {
+
+struct MinCostFlowResult {
+  double flow = 0.0;  // amount actually routed (== demand when feasible)
+  double cost = 0.0;  // total cost of the routed flow
+  bool satisfied = false;
+};
+
+/// Sends up to `demand` units from source to sink at minimum cost; stops
+/// early when the sink becomes unreachable. Flow is left on the graph.
+MinCostFlowResult min_cost_flow(FlowGraph& graph, int source, int sink,
+                                double demand);
+
+}  // namespace postcard::flow

@@ -1,0 +1,59 @@
+#include "flow/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace postcard::flow {
+
+ShortestPathTree dijkstra(const FlowGraph& graph, int source,
+                          const std::vector<double>* potential) {
+  const int n = graph.num_nodes();
+  if (source < 0 || source >= n) throw std::out_of_range("bad source");
+  ShortestPathTree tree;
+  tree.distance.assign(static_cast<std::size_t>(n), kUnreachable);
+  tree.parent_arc.assign(static_cast<std::size_t>(n), -1);
+  tree.distance[source] = 0.0;
+
+  using Item = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.distance[u]) continue;  // stale entry
+    for (int arc : graph.out_arcs(u)) {
+      if (graph.residual(arc) <= kResidualEps) continue;
+      double w = graph.cost(arc);
+      if (potential) w += (*potential)[u] - (*potential)[graph.head(arc)];
+      // Clamp tiny negative reduced costs from floating-point noise.
+      if (w < 0.0) {
+        if (w < -1e-6) throw std::logic_error("negative reduced cost in dijkstra");
+        w = 0.0;
+      }
+      const int v = graph.head(arc);
+      if (d + w < tree.distance[v] - 1e-15) {
+        tree.distance[v] = d + w;
+        tree.parent_arc[v] = arc;
+        heap.push({tree.distance[v], v});
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<int> tree_path(const FlowGraph& graph, const ShortestPathTree& tree,
+                           int target) {
+  std::vector<int> path;
+  if (!tree.reached(target)) return path;
+  int node = target;
+  while (tree.parent_arc[node] >= 0) {
+    const int arc = tree.parent_arc[node];
+    path.push_back(arc);
+    node = graph.tail(arc);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace postcard::flow

@@ -1,0 +1,37 @@
+// Shortest paths over the residual graph.
+//
+// Dijkstra with non-negative (potential-reduced) costs, operating on
+// FlowGraph residual arcs: arcs with residual capacity below `kresidualEps`
+// are treated as absent. Returns per-node distances and the predecessor arc
+// of the shortest-path tree.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "flow/graph.h"
+
+namespace postcard::flow {
+
+inline constexpr double kResidualEps = 1e-9;
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+struct ShortestPathTree {
+  std::vector<double> distance;  // kUnreachable when not reached
+  std::vector<int> parent_arc;   // -1 at the source / unreached nodes
+
+  bool reached(int node) const { return distance[node] < kUnreachable; }
+};
+
+/// Dijkstra from `source` on residual arcs with reduced costs
+/// cost(arc) + potential[tail] - potential[head] (potentials optional).
+/// All reduced costs must be non-negative (standard SSP invariant).
+ShortestPathTree dijkstra(const FlowGraph& graph, int source,
+                          const std::vector<double>* potential = nullptr);
+
+/// Extracts the arc sequence of the tree path source -> target, in path
+/// order (empty when target is unreachable or equals the source).
+std::vector<int> tree_path(const FlowGraph& graph, const ShortestPathTree& tree,
+                           int target);
+
+}  // namespace postcard::flow

@@ -1,0 +1,204 @@
+#include "linalg/cholesky.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace postcard::linalg {
+
+std::vector<Index> rcm_ordering(const SparseMatrix& sym) {
+  const Index n = sym.rows();
+  assert(sym.cols() == n);
+  std::vector<Index> degree(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) degree[j] = sym.col_end(j) - sym.col_begin(j);
+
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<Index> queue;
+  std::vector<Index> neighbors;
+
+  // Seed each connected component from its minimum-degree node.
+  std::vector<Index> by_degree(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) by_degree[i] = i;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](Index a, Index b) { return degree[a] < degree[b]; });
+
+  for (Index seed : by_degree) {
+    if (visited[seed]) continue;
+    queue.clear();
+    queue.push_back(seed);
+    visited[seed] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Index u = queue[head];
+      order.push_back(u);
+      neighbors.clear();
+      for (Index p = sym.col_begin(u); p < sym.col_end(u); ++p) {
+        const Index v = sym.row_idx()[p];
+        if (!visited[v]) {
+          visited[v] = 1;
+          neighbors.push_back(v);
+        }
+      }
+      std::stable_sort(neighbors.begin(), neighbors.end(),
+                       [&](Index a, Index b) { return degree[a] < degree[b]; });
+      queue.insert(queue.end(), neighbors.begin(), neighbors.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+void LdlSolver::analyze(const SparseMatrix& sym) {
+  if (sym.rows() != sym.cols()) throw std::invalid_argument("matrix not square");
+  n_ = sym.rows();
+  perm_ = rcm_ordering(sym);
+  inv_.assign(static_cast<std::size_t>(n_), 0);
+  for (Index k = 0; k < n_; ++k) inv_[perm_[k]] = k;
+
+  // Build the permuted upper triangle structure (row <= col) and remember,
+  // for each structural slot, where in sym.values() its number lives. Only
+  // the original lower-or-equal triangle (i >= j) is consumed so each
+  // symmetric pair contributes exactly one slot.
+  struct Slot {
+    Index row, col, src;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(sym.nonzeros()) / 2 + n_);
+  for (Index j = 0; j < n_; ++j) {
+    for (Index p = sym.col_begin(j); p < sym.col_end(j); ++p) {
+      const Index i = sym.row_idx()[p];
+      if (i < j) continue;  // take one triangle only
+      const Index pi = inv_[i];
+      const Index pj = inv_[j];
+      slots.push_back({std::min(pi, pj), std::max(pi, pj), p});
+    }
+  }
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    return a.col != b.col ? a.col < b.col : a.row < b.row;
+  });
+
+  up_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  up_row_.resize(slots.size());
+  up_src_.resize(slots.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    up_row_[s] = slots[s].row;
+    up_src_[s] = slots[s].src;
+    ++up_ptr_[slots[s].col + 1];
+  }
+  for (Index j = 0; j < n_; ++j) up_ptr_[j + 1] += up_ptr_[j];
+
+  // Elimination tree and column counts of L (Davis, LDL symbolic phase).
+  parent_.assign(static_cast<std::size_t>(n_), -1);
+  l_colcount_.assign(static_cast<std::size_t>(n_), 0);
+  std::vector<Index> flag(static_cast<std::size_t>(n_), -1);
+  for (Index k = 0; k < n_; ++k) {
+    flag[k] = k;
+    for (Index p = up_ptr_[k]; p < up_ptr_[k + 1]; ++p) {
+      Index i = up_row_[p];
+      if (i >= k) continue;
+      while (flag[i] != k) {
+        if (parent_[i] == -1) parent_[i] = k;
+        ++l_colcount_[i];  // L(k,i) is structurally nonzero
+        flag[i] = k;
+        i = parent_[i];
+      }
+    }
+  }
+
+  l_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Index j = 0; j < n_; ++j) l_ptr_[j + 1] = l_ptr_[j] + l_colcount_[j];
+  l_idx_.assign(static_cast<std::size_t>(l_ptr_[n_]), 0);
+  l_val_.assign(static_cast<std::size_t>(l_ptr_[n_]), 0.0);
+  d_.assign(static_cast<std::size_t>(n_), 0.0);
+  work_.assign(static_cast<std::size_t>(n_), 0.0);
+}
+
+int LdlSolver::factorize(const SparseMatrix& sym) {
+  if (sym.rows() != n_ || sym.cols() != n_) {
+    throw std::invalid_argument("factorize: dimension differs from analyze");
+  }
+  const std::vector<double>& vals = sym.values();
+  if (up_src_.size() > vals.size()) {
+    throw std::invalid_argument("factorize: pattern differs from analyze");
+  }
+
+  int regularized = 0;
+  Vector& y = work_;
+  std::vector<Index> flag(static_cast<std::size_t>(n_), -1);
+  std::vector<Index> pattern(static_cast<std::size_t>(n_));
+  std::vector<Index> lnz(static_cast<std::size_t>(n_), 0);  // filled entries per col
+
+  for (Index k = 0; k < n_; ++k) {
+    // Scatter the permuted column k of the upper triangle into y; collect the
+    // row-k pattern of L in topological order via the elimination tree.
+    Index top = n_;
+    flag[k] = k;
+    y[k] = 0.0;
+    double dk = 0.0;
+    for (Index p = up_ptr_[k]; p < up_ptr_[k + 1]; ++p) {
+      const Index i = up_row_[p];
+      const double v = vals[up_src_[p]];
+      if (i == k) {
+        dk += v;
+        continue;
+      }
+      y[i] += v;
+      Index len = 0;
+      Index node = i;
+      while (flag[node] != k) {
+        pattern[len++] = node;
+        flag[node] = k;
+        node = parent_[node];
+      }
+      while (len > 0) pattern[--top] = pattern[--len];
+    }
+
+    // Numeric sparse triangular solve across the row pattern.
+    for (Index p2 = top; p2 < n_; ++p2) {
+      const Index i = pattern[p2];
+      const double yi = y[i];
+      y[i] = 0.0;
+      const double lki = yi / d_[i];
+      for (Index q = l_ptr_[i]; q < l_ptr_[i] + lnz[i]; ++q) {
+        y[l_idx_[q]] -= l_val_[q] * yi;
+      }
+      dk -= lki * yi;
+      l_idx_[l_ptr_[i] + lnz[i]] = k;
+      l_val_[l_ptr_[i] + lnz[i]] = lki;
+      ++lnz[i];
+    }
+    if (dk < options_.regularization) {
+      dk = options_.regularization;
+      ++regularized;
+    }
+    d_[k] = dk;
+  }
+  return regularized;
+}
+
+void LdlSolver::solve(Vector& rhs) const {
+  assert(static_cast<Index>(rhs.size()) == n_);
+  Vector& y = work_;
+  for (Index k = 0; k < n_; ++k) y[k] = rhs[perm_[k]];
+  // L y = y (unit diagonal implicit).
+  for (Index j = 0; j < n_; ++j) {
+    const double yj = y[j];
+    if (yj == 0.0) continue;
+    for (Index p = l_ptr_[j]; p < l_ptr_[j + 1]; ++p) {
+      y[l_idx_[p]] -= l_val_[p] * yj;
+    }
+  }
+  for (Index j = 0; j < n_; ++j) y[j] /= d_[j];
+  // L^T y = y.
+  for (Index j = n_ - 1; j >= 0; --j) {
+    double s = y[j];
+    for (Index p = l_ptr_[j]; p < l_ptr_[j + 1]; ++p) {
+      s -= l_val_[p] * y[l_idx_[p]];
+    }
+    y[j] = s;
+  }
+  for (Index k = 0; k < n_; ++k) rhs[perm_[k]] = y[k];
+}
+
+}  // namespace postcard::linalg

@@ -1,0 +1,269 @@
+#include "linalg/lu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace postcard::linalg {
+namespace {
+
+// Depth-first search from node `start` over the graph of L (columns indexed
+// through pinv), pushing nodes onto `order` in reverse-topological order.
+// Nodes whose rows are not yet pivotal are leaves. Iterative to avoid stack
+// overflow on long chains.
+void reach_dfs(Index start, const std::vector<Index>& l_ptr,
+               const std::vector<Index>& l_idx, const std::vector<Index>& pinv,
+               std::vector<char>& visited, std::vector<Index>& stack,
+               std::vector<Index>& pos_stack, std::vector<Index>& order) {
+  if (visited[start]) return;
+  stack.clear();
+  pos_stack.clear();
+  stack.push_back(start);
+  // pos_stack mirrors stack: next child offset to explore for each frame.
+  pos_stack.push_back(0);
+  visited[start] = 1;
+  while (!stack.empty()) {
+    const Index node = stack.back();
+    const Index col = pinv[node];  // column of L associated with this row
+    bool descended = false;
+    if (col >= 0) {
+      // Skip the unit diagonal (first entry of the column).
+      Index p = l_ptr[col] + 1 + pos_stack.back();
+      const Index end = l_ptr[col + 1];
+      for (; p < end; ++p) {
+        const Index child = l_idx[p];
+        pos_stack.back() = p - (l_ptr[col] + 1) + 1;
+        if (!visited[child]) {
+          visited[child] = 1;
+          stack.push_back(child);
+          pos_stack.push_back(0);
+          descended = true;
+          break;
+        }
+      }
+    }
+    if (!descended) {
+      order.push_back(node);
+      stack.pop_back();
+      pos_stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+FactorStatus LuFactorization::factorize(const SparseMatrix& b) {
+  assert(b.rows() == b.cols());
+  n_ = b.rows();
+  etas_.clear();
+  work_.assign(static_cast<std::size_t>(n_), 0.0);
+
+  // Column ordering: fewest nonzeros first — a cheap fill-reducing heuristic
+  // that works well for the mostly-triangular bases simplex produces.
+  q_.resize(static_cast<std::size_t>(n_));
+  std::iota(q_.begin(), q_.end(), 0);
+  std::stable_sort(q_.begin(), q_.end(), [&b](Index x, Index y) {
+    return b.col_end(x) - b.col_begin(x) < b.col_end(y) - b.col_begin(y);
+  });
+
+  pinv_.assign(static_cast<std::size_t>(n_), -1);
+  l_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  u_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  l_idx_.clear();
+  l_val_.clear();
+  u_idx_.clear();
+  u_val_.clear();
+  // Rough guess; vectors grow as needed.
+  l_idx_.reserve(static_cast<std::size_t>(b.nonzeros()) * 2);
+  l_val_.reserve(static_cast<std::size_t>(b.nonzeros()) * 2);
+  u_idx_.reserve(static_cast<std::size_t>(b.nonzeros()) * 2);
+  u_val_.reserve(static_cast<std::size_t>(b.nonzeros()) * 2);
+
+  Vector x(static_cast<std::size_t>(n_), 0.0);
+  std::vector<char> visited(static_cast<std::size_t>(n_), 0);
+  std::vector<Index> order, stack, pos_stack;
+  order.reserve(static_cast<std::size_t>(n_));
+
+  for (Index k = 0; k < n_; ++k) {
+    l_ptr_[k] = static_cast<Index>(l_idx_.size());
+    u_ptr_[k] = static_cast<Index>(u_idx_.size());
+    const Index col = q_[k];
+
+    // Pattern of x = L \ B(:,col): DFS reach over current L.
+    order.clear();
+    for (Index p = b.col_begin(col); p < b.col_end(col); ++p) {
+      reach_dfs(b.row_idx()[p], l_ptr_, l_idx_, pinv_, visited, stack,
+                pos_stack, order);
+    }
+    // `order` is reverse-topological; process from the back for the numeric
+    // triangular solve.
+    for (Index p = b.col_begin(col); p < b.col_end(col); ++p) {
+      x[b.row_idx()[p]] = b.values()[p];
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const Index i = *it;
+      const Index lcol = pinv_[i];
+      if (lcol < 0) continue;  // row not pivotal: stays in the active part
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      for (Index p = l_ptr_[lcol] + 1; p < l_ptr_[lcol + 1]; ++p) {
+        x[l_idx_[p]] -= l_val_[p] * xi;
+      }
+    }
+
+    // Partial pivoting: largest magnitude among not-yet-pivotal rows.
+    Index ipiv = -1;
+    double best = 0.0;
+    for (Index i : order) {
+      if (pinv_[i] < 0) {
+        const double a = std::abs(x[i]);
+        if (a > best) {
+          best = a;
+          ipiv = i;
+        }
+      }
+    }
+    if (ipiv < 0 || best <= options_.pivot_tol) {
+      // Clean scratch before bailing out.
+      for (Index i : order) {
+        x[i] = 0.0;
+        visited[i] = 0;
+      }
+      return FactorStatus::kSingular;
+    }
+
+    // Emit U(:,k): entries in already-pivotal rows, diagonal last.
+    for (Index i : order) {
+      if (pinv_[i] >= 0 && x[i] != 0.0) {
+        u_idx_.push_back(pinv_[i]);
+        u_val_.push_back(x[i]);
+      }
+    }
+    const double pivot = x[ipiv];
+    u_idx_.push_back(k);
+    u_val_.push_back(pivot);
+    pinv_[ipiv] = k;
+
+    // Emit L(:,k): unit diagonal first, then below-diagonal entries scaled by
+    // the pivot. Row indices are original; remapped to pivotal order below.
+    l_idx_.push_back(ipiv);
+    l_val_.push_back(1.0);
+    for (Index i : order) {
+      if (pinv_[i] < 0 && x[i] != 0.0) {
+        l_idx_.push_back(i);
+        l_val_.push_back(x[i] / pivot);
+      }
+    }
+
+    for (Index i : order) {
+      x[i] = 0.0;
+      visited[i] = 0;
+    }
+  }
+  l_ptr_[n_] = static_cast<Index>(l_idx_.size());
+  u_ptr_[n_] = static_cast<Index>(u_idx_.size());
+
+  // Remap L's row indices into pivotal order so both factors live in the
+  // permuted index space.
+  for (Index& i : l_idx_) i = pinv_[i];
+  return FactorStatus::kOk;
+}
+
+void LuFactorization::base_ftran(Vector& x) const {
+  // x := Q * (U \ (L \ (P x))).
+  Vector& y = work_;
+  for (Index i = 0; i < n_; ++i) y[pinv_[i]] = x[i];
+  // Forward solve L y = y (unit diagonal first in each column).
+  for (Index j = 0; j < n_; ++j) {
+    const double yj = y[j];
+    if (yj == 0.0) continue;
+    for (Index p = l_ptr_[j] + 1; p < l_ptr_[j + 1]; ++p) {
+      y[l_idx_[p]] -= l_val_[p] * yj;
+    }
+  }
+  // Backward solve U y = y (diagonal last in each column).
+  for (Index j = n_ - 1; j >= 0; --j) {
+    const Index diag = u_ptr_[j + 1] - 1;
+    const double yj = y[j] / u_val_[diag];
+    y[j] = yj;
+    if (yj == 0.0) continue;
+    for (Index p = u_ptr_[j]; p < diag; ++p) {
+      y[u_idx_[p]] -= u_val_[p] * yj;
+    }
+  }
+  for (Index k = 0; k < n_; ++k) x[q_[k]] = y[k];
+}
+
+void LuFactorization::base_btran(Vector& x) const {
+  // Solve B^T y = x where B = P^T L U Q^T:  y = P^T (L^T \ (U^T \ (Q^T x))).
+  Vector& y = work_;
+  for (Index k = 0; k < n_; ++k) y[k] = x[q_[k]];
+  // Forward solve U^T v = y: column j of U gives row j of U^T.
+  for (Index j = 0; j < n_; ++j) {
+    double s = y[j];
+    const Index diag = u_ptr_[j + 1] - 1;
+    for (Index p = u_ptr_[j]; p < diag; ++p) {
+      s -= u_val_[p] * y[u_idx_[p]];
+    }
+    y[j] = s / u_val_[diag];
+  }
+  // Backward solve L^T w = v.
+  for (Index j = n_ - 1; j >= 0; --j) {
+    double s = y[j];
+    for (Index p = l_ptr_[j] + 1; p < l_ptr_[j + 1]; ++p) {
+      s -= l_val_[p] * y[l_idx_[p]];
+    }
+    y[j] = s;
+  }
+  for (Index i = 0; i < n_; ++i) x[i] = y[pinv_[i]];
+}
+
+void LuFactorization::ftran(Vector& rhs) const {
+  assert(static_cast<Index>(rhs.size()) == n_);
+  base_ftran(rhs);
+  // Apply eta inverses in application order: B = B0 E1 E2 ... Ek, so
+  // x = Ek^{-1} ... E1^{-1} B0^{-1} b.
+  for (const Eta& e : etas_) {
+    const double zp = rhs[e.pos] / e.pivot;
+    rhs[e.pos] = zp;
+    if (zp == 0.0) continue;
+    for (std::size_t i = 0; i < e.idx.size(); ++i) {
+      rhs[e.idx[i]] -= e.val[i] * zp;
+    }
+  }
+}
+
+void LuFactorization::btran(Vector& rhs) const {
+  assert(static_cast<Index>(rhs.size()) == n_);
+  // B^T = Ek^T ... E1^T B0^T: peel eta transposes in reverse order first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    const Eta& e = *it;
+    double s = rhs[e.pos];
+    for (std::size_t i = 0; i < e.idx.size(); ++i) {
+      s -= e.val[i] * rhs[e.idx[i]];
+    }
+    rhs[e.pos] = s / e.pivot;
+  }
+  base_btran(rhs);
+}
+
+bool LuFactorization::update(const Vector& w, Index pos) {
+  assert(static_cast<Index>(w.size()) == n_);
+  assert(pos >= 0 && pos < n_);
+  const double pivot = w[pos];
+  if (std::abs(pivot) < options_.eta_pivot_tol) return false;
+  Eta e;
+  e.pos = pos;
+  e.pivot = pivot;
+  for (Index i = 0; i < n_; ++i) {
+    if (i != pos && w[i] != 0.0) {
+      e.idx.push_back(i);
+      e.val.push_back(w[i]);
+    }
+  }
+  etas_.push_back(std::move(e));
+  return true;
+}
+
+}  // namespace postcard::linalg

@@ -1,0 +1,100 @@
+// Sparse LU factorization for simplex basis matrices.
+//
+// The factorization is a left-looking Gilbert-Peierls LU with partial
+// pivoting: columns are processed in a fill-reducing order (fewest nonzeros
+// first) and each column is obtained by a sparse triangular solve whose
+// nonzero pattern is discovered by depth-first search. The result satisfies
+//     L * U = P * B * Q
+// with unit-lower-triangular L, upper-triangular U, row permutation P (from
+// pivoting) and column permutation Q (from the ordering).
+//
+// Between refactorizations the basis is maintained with product-form-of-the-
+// inverse (PFI) eta updates: replacing the basic variable at position p by a
+// column whose FTRAN image is w multiplies B by the elementary matrix E that
+// is the identity with column p replaced by w. FTRAN/BTRAN apply the eta file
+// after/before the triangular solves.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.h"
+#include "linalg/sparse.h"
+
+namespace postcard::linalg {
+
+enum class FactorStatus {
+  kOk,
+  kSingular,  // no acceptable pivot in some column
+};
+
+class LuFactorization {
+ public:
+  struct Options {
+    double pivot_tol = 1e-11;      // smallest acceptable pivot magnitude
+    double eta_pivot_tol = 1e-7;   // smallest acceptable eta pivot |w_p|
+    int max_updates = 64;          // advise refactorization after this many etas
+  };
+
+  LuFactorization() : LuFactorization(Options{}) {}
+  explicit LuFactorization(Options options) : options_(options) {}
+
+  /// Factorizes the square matrix B, replacing any previous factorization and
+  /// clearing the eta file.
+  FactorStatus factorize(const SparseMatrix& b);
+
+  /// Solves B x = rhs in place (rhs holds x on return). Requires a successful
+  /// factorize(); includes all eta updates applied since.
+  void ftran(Vector& rhs) const;
+
+  /// Solves B^T x = rhs in place.
+  void btran(Vector& rhs) const;
+
+  /// Applies a PFI update: the basic column at position `pos` is replaced by
+  /// a column whose FTRAN image (B^{-1} a_entering) is `w`. Returns false if
+  /// |w[pos]| is below the eta pivot tolerance, in which case the caller must
+  /// refactorize instead.
+  bool update(const Vector& w, Index pos);
+
+  /// Number of eta updates applied since the last factorize().
+  int updates() const { return static_cast<int>(etas_.size()); }
+
+  /// True once `updates()` exceeds the configured budget; callers should
+  /// refactorize at the next convenient point.
+  bool should_refactorize() const {
+    return updates() >= options_.max_updates;
+  }
+
+  Index dimension() const { return n_; }
+
+ private:
+  struct Eta {
+    Index pos = 0;                 // basis position being replaced
+    double pivot = 0.0;            // w[pos]
+    std::vector<Index> idx;        // off-pivot nonzero positions of w
+    std::vector<double> val;       // matching values
+  };
+
+  void base_ftran(Vector& x) const;   // (LU, P, Q) solve without etas
+  void base_btran(Vector& x) const;
+
+  Options options_;
+  Index n_ = 0;
+
+  // L: unit lower triangular, diagonal stored explicitly (value 1, first
+  // entry of each column); row indices are in pivotal order.
+  std::vector<Index> l_ptr_, l_idx_;
+  std::vector<double> l_val_;
+  // U: upper triangular, diagonal stored last in each column.
+  std::vector<Index> u_ptr_, u_idx_;
+  std::vector<double> u_val_;
+
+  std::vector<Index> pinv_;   // pinv_[original row] = pivotal position
+  std::vector<Index> q_;      // q_[pivotal col] = original column
+
+  std::vector<Eta> etas_;
+
+  // Scratch reused across solves (sized n_).
+  mutable Vector work_;
+};
+
+}  // namespace postcard::linalg

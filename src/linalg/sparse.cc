@@ -1,0 +1,151 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace postcard::linalg {
+
+SparseMatrix SparseMatrix::from_triplets(Index rows, Index cols,
+                                         const std::vector<Triplet>& triplets,
+                                         double drop_tol) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative dimension");
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      throw std::out_of_range("triplet coordinate outside matrix");
+    }
+  }
+
+  // Count entries per column, then bucket-sort triplets into CSC order.
+  std::vector<Index> count(static_cast<std::size_t>(cols) + 1, 0);
+  for (const Triplet& t : triplets) ++count[t.col + 1];
+  for (Index j = 0; j < cols; ++j) count[j + 1] += count[j];
+
+  std::vector<Index> row_idx(triplets.size());
+  std::vector<double> values(triplets.size());
+  std::vector<Index> next(count.begin(), count.end() - 1);
+  for (const Triplet& t : triplets) {
+    const Index pos = next[t.col]++;
+    row_idx[pos] = t.row;
+    values[pos] = t.value;
+  }
+
+  // Sort each column by row, summing duplicates and dropping small entries.
+  SparseMatrix a;
+  a.rows_ = rows;
+  a.cols_ = cols;
+  a.col_ptr_.assign(static_cast<std::size_t>(cols) + 1, 0);
+  a.row_idx_.reserve(triplets.size());
+  a.values_.reserve(triplets.size());
+
+  std::vector<std::pair<Index, double>> column;
+  for (Index j = 0; j < cols; ++j) {
+    column.clear();
+    for (Index p = count[j]; p < count[j + 1]; ++p) {
+      column.emplace_back(row_idx[p], values[p]);
+    }
+    std::sort(column.begin(), column.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t i = 0; i < column.size();) {
+      Index r = column[i].first;
+      double sum = 0.0;
+      while (i < column.size() && column[i].first == r) sum += column[i++].second;
+      if (std::abs(sum) > drop_tol) {
+        a.row_idx_.push_back(r);
+        a.values_.push_back(sum);
+      }
+    }
+    a.col_ptr_[j + 1] = static_cast<Index>(a.row_idx_.size());
+  }
+  return a;
+}
+
+SparseMatrix SparseMatrix::from_csc(Index rows, Index cols,
+                                    std::vector<Index> col_ptr,
+                                    std::vector<Index> row_idx,
+                                    std::vector<double> values) {
+  if (col_ptr.size() != static_cast<std::size_t>(cols) + 1) {
+    throw std::invalid_argument("col_ptr size mismatch");
+  }
+  if (row_idx.size() != values.size()) {
+    throw std::invalid_argument("row_idx/values size mismatch");
+  }
+  for (Index j = 0; j < cols; ++j) {
+    if (col_ptr[j] > col_ptr[j + 1]) throw std::invalid_argument("col_ptr not monotone");
+    for (Index p = col_ptr[j]; p + 1 < col_ptr[j + 1]; ++p) {
+      if (row_idx[p] >= row_idx[p + 1]) {
+        throw std::invalid_argument("rows within a column must be strictly increasing");
+      }
+    }
+  }
+  SparseMatrix a;
+  a.rows_ = rows;
+  a.cols_ = cols;
+  a.col_ptr_ = std::move(col_ptr);
+  a.row_idx_ = std::move(row_idx);
+  a.values_ = std::move(values);
+  return a;
+}
+
+void SparseMatrix::multiply(const Vector& x, Vector& y) const {
+  assert(static_cast<Index>(x.size()) == cols_);
+  y.assign(static_cast<std::size_t>(rows_), 0.0);
+  for (Index j = 0; j < cols_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (Index p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+      y[row_idx_[p]] += values_[p] * xj;
+    }
+  }
+}
+
+void SparseMatrix::multiply_transpose(const Vector& x, Vector& y) const {
+  assert(static_cast<Index>(x.size()) == rows_);
+  y.assign(static_cast<std::size_t>(cols_), 0.0);
+  for (Index j = 0; j < cols_; ++j) {
+    double s = 0.0;
+    for (Index p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+      s += values_[p] * x[row_idx_[p]];
+    }
+    y[j] = s;
+  }
+}
+
+SparseMatrix SparseMatrix::transpose() const {
+  std::vector<Index> count(static_cast<std::size_t>(rows_) + 1, 0);
+  for (Index r : row_idx_) ++count[r + 1];
+  for (Index i = 0; i < rows_; ++i) count[i + 1] += count[i];
+
+  std::vector<Index> col_ptr(count);
+  std::vector<Index> row_idx(values_.size());
+  std::vector<double> values(values_.size());
+  std::vector<Index> next(count.begin(), count.end() - 1);
+  for (Index j = 0; j < cols_; ++j) {
+    for (Index p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+      const Index pos = next[row_idx_[p]]++;
+      row_idx[pos] = j;  // column index of A becomes row index of A^T
+      values[pos] = values_[p];
+    }
+  }
+  // Column-major traversal of A emits entries of A^T with increasing "row"
+  // (= original column) inside each new column, so the result is canonical.
+  SparseMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.col_ptr_ = std::move(col_ptr);
+  t.row_idx_ = std::move(row_idx);
+  t.values_ = std::move(values);
+  return t;
+}
+
+double SparseMatrix::coeff(Index row, Index col) const {
+  assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  const auto begin = row_idx_.begin() + col_ptr_[col];
+  const auto end = row_idx_.begin() + col_ptr_[col + 1];
+  const auto it = std::lower_bound(begin, end, row);
+  if (it == end || *it != row) return 0.0;
+  return values_[static_cast<std::size_t>(it - row_idx_.begin())];
+}
+
+}  // namespace postcard::linalg

@@ -1,0 +1,330 @@
+#include "lp/ipm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/sparse.h"
+
+namespace postcard::lp {
+
+namespace {
+
+using linalg::Index;
+using linalg::SparseMatrix;
+using linalg::Triplet;
+using linalg::Vector;
+
+constexpr double kEqualityTol = 1e-12;
+
+/// Equality-form problem data: min c^T x, A x = b, l <= x <= u.
+struct EqForm {
+  SparseMatrix a;
+  Vector b, c, l, u;
+  int n_struct = 0;  // leading columns that map back to model variables
+};
+
+EqForm to_equality_form(const LpModel& model) {
+  EqForm eq;
+  const int n = model.num_variables();
+  const int m = model.num_constraints();
+  eq.n_struct = n;
+  eq.c.assign(model.objective().begin(), model.objective().end());
+  eq.l.assign(model.col_lower().begin(), model.col_lower().end());
+  eq.u.assign(model.col_upper().begin(), model.col_upper().end());
+  eq.b.assign(static_cast<std::size_t>(m), 0.0);
+
+  std::vector<Triplet> triplets(model.entries());
+  int cols = n;
+  for (int i = 0; i < m; ++i) {
+    const double rl = model.row_lower()[i];
+    const double ru = model.row_upper()[i];
+    if (std::isfinite(rl) && std::isfinite(ru) && ru - rl <= kEqualityTol) {
+      eq.b[i] = 0.5 * (rl + ru);  // genuine equality row, no slack
+      continue;
+    }
+    // a^T x - s = 0 with s in [rl, ru].
+    triplets.push_back({static_cast<Index>(i), static_cast<Index>(cols), -1.0});
+    eq.c.push_back(0.0);
+    eq.l.push_back(rl);
+    eq.u.push_back(ru);
+    ++cols;
+  }
+  eq.a = SparseMatrix::from_triplets(static_cast<Index>(m),
+                                     static_cast<Index>(cols), triplets);
+  return eq;
+}
+
+/// Precomputed scatter plan for assembling M = A D^{-1} A^T + delta*I with a
+/// fixed pattern: each entry of M is a sum of (inv_d[col] * weight) terms.
+struct NormalEquations {
+  SparseMatrix pattern;              // numeric values overwritten in place
+  std::vector<Index> slot;           // per term: position in pattern values
+  std::vector<Index> term_col;       // per term: column j of A
+  std::vector<double> term_weight;   // per term: a_rj * a_sj
+  std::vector<Index> diag_slot;      // per row: diagonal position
+
+  void build(const SparseMatrix& a) {
+    const Index m = a.rows();
+    std::vector<Triplet> structure;
+    for (Index j = 0; j < a.cols(); ++j) {
+      for (Index p = a.col_begin(j); p < a.col_end(j); ++p) {
+        for (Index q = a.col_begin(j); q < a.col_end(j); ++q) {
+          structure.push_back({a.row_idx()[p], a.row_idx()[q], 1.0});
+        }
+      }
+    }
+    for (Index i = 0; i < m; ++i) structure.push_back({i, i, 1.0});
+    pattern = SparseMatrix::from_triplets(m, m, structure);
+
+    // Map every (row-pair, column) term to its slot in the pattern.
+    auto find_slot = [this](Index r, Index c) -> Index {
+      const auto& rows = pattern.row_idx();
+      Index lo = pattern.col_begin(c), hi = pattern.col_end(c);
+      while (lo < hi) {
+        const Index mid = (lo + hi) / 2;
+        if (rows[mid] < r) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    };
+    for (Index j = 0; j < a.cols(); ++j) {
+      for (Index p = a.col_begin(j); p < a.col_end(j); ++p) {
+        for (Index q = a.col_begin(j); q < a.col_end(j); ++q) {
+          slot.push_back(find_slot(a.row_idx()[p], a.row_idx()[q]));
+          term_col.push_back(j);
+          term_weight.push_back(a.values()[p] * a.values()[q]);
+        }
+      }
+    }
+    diag_slot.resize(static_cast<std::size_t>(m));
+    for (Index i = 0; i < m; ++i) diag_slot[i] = find_slot(i, i);
+  }
+
+  /// values(M) = sum_j inv_d[j] * a_j a_j^T + primal_reg * I.
+  void assemble(const Vector& inv_d, double primal_reg,
+                std::vector<double>& values) const {
+    std::fill(values.begin(), values.end(), 0.0);
+    for (std::size_t t = 0; t < slot.size(); ++t) {
+      values[slot[t]] += inv_d[term_col[t]] * term_weight[t];
+    }
+    for (Index d : diag_slot) values[d] += primal_reg;
+  }
+};
+
+}  // namespace
+
+Solution InteriorPoint::solve(const LpModel& model) {
+  Solution result;
+  EqForm eq = to_equality_form(model);
+  const Index m = eq.a.rows();
+  const Index n = eq.a.cols();
+
+  // Defensive widening of (should-be-presolved) fixed columns.
+  for (Index j = 0; j < n; ++j) {
+    if (std::isfinite(eq.l[j]) && std::isfinite(eq.u[j]) &&
+        eq.u[j] - eq.l[j] < 1e-10) {
+      const double w = 1e-9 * (1.0 + std::abs(eq.l[j]));
+      eq.l[j] -= w;
+      eq.u[j] += w;
+    }
+  }
+
+  std::vector<char> has_lo(static_cast<std::size_t>(n)), has_up(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    has_lo[j] = std::isfinite(eq.l[j]);
+    has_up[j] = std::isfinite(eq.u[j]);
+  }
+
+  // Starting point: primal strictly inside the box, unit multipliers.
+  Vector x(static_cast<std::size_t>(n), 0.0);
+  for (Index j = 0; j < n; ++j) {
+    if (has_lo[j] && has_up[j]) {
+      x[j] = 0.5 * (eq.l[j] + eq.u[j]);
+    } else if (has_lo[j]) {
+      x[j] = eq.l[j] + 1.0;
+    } else if (has_up[j]) {
+      x[j] = eq.u[j] - 1.0;
+    }
+  }
+  Vector y(static_cast<std::size_t>(m), 0.0);
+  Vector zl(static_cast<std::size_t>(n), 0.0), zu(static_cast<std::size_t>(n), 0.0);
+  for (Index j = 0; j < n; ++j) {
+    if (has_lo[j]) zl[j] = 1.0;
+    if (has_up[j]) zu[j] = 1.0;
+  }
+
+  NormalEquations normal;
+  normal.build(eq.a);
+  linalg::LdlSolver ldl;
+  ldl.analyze(normal.pattern);
+  std::vector<double> mvals(normal.pattern.values());
+
+  const double bnorm = 1.0 + linalg::norm_inf(eq.b);
+  double cnorm = 1.0;
+  for (double v : eq.c) cnorm = std::max(cnorm, std::abs(v));
+
+  Vector rp(static_cast<std::size_t>(m)), rd(static_cast<std::size_t>(n));
+  Vector inv_d(static_cast<std::size_t>(n));
+  Vector rhat(static_cast<std::size_t>(n));
+  Vector rhs(static_cast<std::size_t>(m)), tmp_m(static_cast<std::size_t>(m));
+  Vector dx(static_cast<std::size_t>(n)), dy(static_cast<std::size_t>(m));
+  Vector dzl(static_cast<std::size_t>(n)), dzu(static_cast<std::size_t>(n));
+  Vector dx_aff(static_cast<std::size_t>(n)), dzl_aff(static_cast<std::size_t>(n)),
+      dzu_aff(static_cast<std::size_t>(n));
+  Vector rcl(static_cast<std::size_t>(n)), rcu(static_cast<std::size_t>(n));
+  Vector ax(static_cast<std::size_t>(m)), aty(static_cast<std::size_t>(n));
+
+  long bound_count = 0;
+  for (Index j = 0; j < n; ++j) bound_count += has_lo[j] + has_up[j];
+  if (bound_count == 0) bound_count = 1;
+
+  auto solve_newton = [&]() {
+    // dx = D^{-1}(A^T dy - rhat); A dx = rp  =>  M dy = rp + A D^{-1} rhat.
+    for (Index j = 0; j < n; ++j) rhat[j] *= inv_d[j];
+    eq.a.multiply(rhat, tmp_m);
+    for (Index i = 0; i < m; ++i) rhs[i] = rp[i] + tmp_m[i];
+    dy = rhs;
+    ldl.solve(dy);
+    eq.a.multiply_transpose(dy, aty);
+    for (Index j = 0; j < n; ++j) {
+      dx[j] = inv_d[j] * aty[j] - rhat[j];  // rhat already scaled by inv_d
+    }
+  };
+
+  for (long iter = 0; iter < options_.max_iterations; ++iter) {
+    // Residuals.
+    eq.a.multiply(x, ax);
+    for (Index i = 0; i < m; ++i) rp[i] = eq.b[i] - ax[i];
+    eq.a.multiply_transpose(y, aty);
+    for (Index j = 0; j < n; ++j) {
+      rd[j] = eq.c[j] - aty[j] - zl[j] + zu[j];
+    }
+    double mu = 0.0;
+    for (Index j = 0; j < n; ++j) {
+      if (has_lo[j]) mu += (x[j] - eq.l[j]) * zl[j];
+      if (has_up[j]) mu += (eq.u[j] - x[j]) * zu[j];
+    }
+    mu /= static_cast<double>(bound_count);
+
+    const double prim_res = linalg::norm_inf(rp) / bnorm;
+    const double dual_res = linalg::norm_inf(rd) / cnorm;
+    double obj = 0.0;
+    for (Index j = 0; j < n; ++j) obj += eq.c[j] * x[j];
+    if (prim_res < options_.tol && dual_res < options_.tol &&
+        mu < options_.tol * (1.0 + std::abs(obj))) {
+      result.status = SolveStatus::kOptimal;
+      result.iterations = iter;
+      break;
+    }
+
+    // Curvatures.
+    for (Index j = 0; j < n; ++j) {
+      double d = options_.free_curvature;
+      if (has_lo[j]) d += zl[j] / (x[j] - eq.l[j]);
+      if (has_up[j]) d += zu[j] / (eq.u[j] - x[j]);
+      inv_d[j] = 1.0 / d;
+    }
+    normal.assemble(inv_d, 1e-10, mvals);
+    const SparseMatrix msys = SparseMatrix::from_csc(
+        m, m, std::vector<Index>(normal.pattern.col_ptr()),
+        std::vector<Index>(normal.pattern.row_idx()), mvals);
+    ldl.factorize(msys);
+
+    // Affine (predictor) step: drive complementarity toward zero.
+    for (Index j = 0; j < n; ++j) {
+      rcl[j] = has_lo[j] ? -(x[j] - eq.l[j]) * zl[j] : 0.0;
+      rcu[j] = has_up[j] ? -(eq.u[j] - x[j]) * zu[j] : 0.0;
+      rhat[j] = rd[j];
+      if (has_lo[j]) rhat[j] -= rcl[j] / (x[j] - eq.l[j]);
+      if (has_up[j]) rhat[j] += rcu[j] / (eq.u[j] - x[j]);
+    }
+    solve_newton();
+    for (Index j = 0; j < n; ++j) {
+      dzl_aff[j] = has_lo[j] ? (rcl[j] - zl[j] * dx[j]) / (x[j] - eq.l[j]) : 0.0;
+      dzu_aff[j] = has_up[j] ? (rcu[j] + zu[j] * dx[j]) / (eq.u[j] - x[j]) : 0.0;
+      dx_aff[j] = dx[j];
+    }
+
+    auto max_steps = [&](const Vector& sdx, const Vector& sdzl,
+                         const Vector& sdzu) {
+      double ap = 1.0, ad = 1.0;
+      for (Index j = 0; j < n; ++j) {
+        if (has_lo[j]) {
+          if (sdx[j] < 0.0) ap = std::min(ap, -(x[j] - eq.l[j]) / sdx[j]);
+          if (sdzl[j] < 0.0) ad = std::min(ad, -zl[j] / sdzl[j]);
+        }
+        if (has_up[j]) {
+          if (sdx[j] > 0.0) ap = std::min(ap, (eq.u[j] - x[j]) / sdx[j]);
+          if (sdzu[j] < 0.0) ad = std::min(ad, -zu[j] / sdzu[j]);
+        }
+      }
+      return std::pair<double, double>(ap, ad);
+    };
+
+    const auto [ap_aff, ad_aff] = max_steps(dx_aff, dzl_aff, dzu_aff);
+    double mu_aff = 0.0;
+    for (Index j = 0; j < n; ++j) {
+      if (has_lo[j]) {
+        mu_aff += (x[j] - eq.l[j] + ap_aff * dx_aff[j]) * (zl[j] + ad_aff * dzl_aff[j]);
+      }
+      if (has_up[j]) {
+        mu_aff += (eq.u[j] - x[j] - ap_aff * dx_aff[j]) * (zu[j] + ad_aff * dzu_aff[j]);
+      }
+    }
+    mu_aff /= static_cast<double>(bound_count);
+    const double sigma = std::pow(std::clamp(mu_aff / std::max(mu, 1e-300), 0.0, 1.0), 3);
+
+    // Corrector step with centering sigma*mu and Mehrotra's second-order term.
+    for (Index j = 0; j < n; ++j) {
+      rcl[j] = has_lo[j]
+                   ? sigma * mu - (x[j] - eq.l[j]) * zl[j] - dx_aff[j] * dzl_aff[j]
+                   : 0.0;
+      rcu[j] = has_up[j]
+                   ? sigma * mu - (eq.u[j] - x[j]) * zu[j] + dx_aff[j] * dzu_aff[j]
+                   : 0.0;
+      rhat[j] = rd[j];
+      if (has_lo[j]) rhat[j] -= rcl[j] / (x[j] - eq.l[j]);
+      if (has_up[j]) rhat[j] += rcu[j] / (eq.u[j] - x[j]);
+    }
+    solve_newton();
+    for (Index j = 0; j < n; ++j) {
+      dzl[j] = has_lo[j] ? (rcl[j] - zl[j] * dx[j]) / (x[j] - eq.l[j]) : 0.0;
+      dzu[j] = has_up[j] ? (rcu[j] + zu[j] * dx[j]) / (eq.u[j] - x[j]) : 0.0;
+    }
+
+    const auto [ap_max, ad_max] = max_steps(dx, dzl, dzu);
+    const double ap = std::min(1.0, options_.step_fraction * ap_max);
+    const double ad = std::min(1.0, options_.step_fraction * ad_max);
+    for (Index j = 0; j < n; ++j) {
+      x[j] += ap * dx[j];
+      zl[j] += ad * dzl[j];
+      zu[j] += ad * dzu[j];
+    }
+    for (Index i = 0; i < m; ++i) y[i] += ad * dy[i];
+
+    if (iter + 1 == options_.max_iterations) {
+      result.status = SolveStatus::kIterationLimit;
+      result.iterations = iter + 1;
+    }
+  }
+
+  result.x.assign(x.begin(), x.begin() + eq.n_struct);
+  // Snap primal values onto their box (interior iterates sit epsilon inside).
+  for (int j = 0; j < eq.n_struct; ++j) {
+    result.x[j] = std::clamp(result.x[j], model.col_lower()[j], model.col_upper()[j]);
+  }
+  result.objective = model.objective_value(result.x);
+  result.duals = y;
+  result.reduced_costs.assign(static_cast<std::size_t>(eq.n_struct), 0.0);
+  for (int j = 0; j < eq.n_struct; ++j) {
+    result.reduced_costs[j] = zl[j] - zu[j];
+  }
+  return result;
+}
+
+}  // namespace postcard::lp

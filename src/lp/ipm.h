@@ -1,0 +1,42 @@
+// Mehrotra predictor-corrector interior-point method.
+//
+// The model is brought to the equality form  A~ x~ = b,  l <= x~ <= u:
+// equality rows keep their right-hand side, inequality/range rows receive a
+// slack column. The Newton systems are reduced to the normal equations
+//     (A~ D^{-1} A~^T) dy = r
+// with D the diagonal of barrier curvatures, factorized once per iteration
+// by the sparse LDL^T solver (pattern fixed, so symbolic analysis is done
+// once). Free variables receive a small curvature regularization; fixed
+// variables should be removed by presolve (a tiny bound widening is applied
+// defensively otherwise).
+//
+// The paper names interior-point methods as the intended solver class for
+// the Postcard problem (Sec. I, Sec. V); in this library the IPM doubles as
+// an independent cross-check of the simplex and as the subject of the
+// solver-ablation benchmark.
+#pragma once
+
+#include "lp/model.h"
+#include "lp/status.h"
+
+namespace postcard::lp {
+
+class InteriorPoint {
+ public:
+  struct Options {
+    double tol = 1e-8;          // relative residual / gap tolerance
+    long max_iterations = 200;
+    double free_curvature = 1e-8;
+    double step_fraction = 0.9995;
+  };
+
+  InteriorPoint() : InteriorPoint(Options{}) {}
+  explicit InteriorPoint(Options options) : options_(options) {}
+
+  Solution solve(const LpModel& model);
+
+ private:
+  Options options_;
+};
+
+}  // namespace postcard::lp

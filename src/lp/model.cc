@@ -1,0 +1,76 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace postcard::lp {
+
+int LpModel::add_variable(double lower, double upper, double objective,
+                          std::string name) {
+  if (lower > upper) throw std::invalid_argument("variable bounds crossed");
+  objective_.push_back(objective);
+  col_lower_.push_back(lower);
+  col_upper_.push_back(upper);
+  col_names_.push_back(std::move(name));
+  return num_variables() - 1;
+}
+
+int LpModel::add_constraint(double lower, double upper, std::string name) {
+  if (lower > upper) throw std::invalid_argument("constraint bounds crossed");
+  row_lower_.push_back(lower);
+  row_upper_.push_back(upper);
+  row_names_.push_back(std::move(name));
+  return num_constraints() - 1;
+}
+
+void LpModel::add_coefficient(int row, int col, double value) {
+  if (row < 0 || row >= num_constraints()) throw std::out_of_range("bad row");
+  if (col < 0 || col >= num_variables()) throw std::out_of_range("bad col");
+  if (value == 0.0) return;
+  entries_.push_back({static_cast<linalg::Index>(row),
+                      static_cast<linalg::Index>(col), value});
+}
+
+void LpModel::set_variable_bounds(int col, double lower, double upper) {
+  if (lower > upper) throw std::invalid_argument("variable bounds crossed");
+  col_lower_[col] = lower;
+  col_upper_[col] = upper;
+}
+
+void LpModel::set_constraint_bounds(int row, double lower, double upper) {
+  if (lower > upper) throw std::invalid_argument("constraint bounds crossed");
+  row_lower_[row] = lower;
+  row_upper_[row] = upper;
+}
+
+linalg::SparseMatrix LpModel::build_matrix() const {
+  return linalg::SparseMatrix::from_triplets(
+      static_cast<linalg::Index>(num_constraints()),
+      static_cast<linalg::Index>(num_variables()), entries_);
+}
+
+double LpModel::objective_value(const linalg::Vector& x) const {
+  double s = 0.0;
+  for (int j = 0; j < num_variables(); ++j) s += objective_[j] * x[j];
+  return s;
+}
+
+double LpModel::max_violation(const linalg::Vector& x) const {
+  double viol = 0.0;
+  for (int j = 0; j < num_variables(); ++j) {
+    viol = std::max(viol, col_lower_[j] - x[j]);
+    viol = std::max(viol, x[j] - col_upper_[j]);
+  }
+  linalg::Vector activity(static_cast<std::size_t>(num_constraints()), 0.0);
+  for (const linalg::Triplet& t : entries_) {
+    activity[t.row] += t.value * x[t.col];
+  }
+  for (int i = 0; i < num_constraints(); ++i) {
+    viol = std::max(viol, row_lower_[i] - activity[i]);
+    viol = std::max(viol, activity[i] - row_upper_[i]);
+  }
+  return viol;
+}
+
+}  // namespace postcard::lp

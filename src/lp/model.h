@@ -1,0 +1,68 @@
+// Row/column LP model builder.
+//
+// Represents  min c^T x  subject to  row_lower <= A x <= row_upper,
+//                                    col_lower <=   x <= col_upper.
+// Equalities are rows with row_lower == row_upper; one-sided rows use
+// +/- lp::kInfinity. Coefficients are collected as triplets and frozen into
+// a CSC matrix on demand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/sparse.h"
+#include "lp/status.h"
+
+namespace postcard::lp {
+
+class LpModel {
+ public:
+  /// Adds a variable; returns its index. Bounds may be +/-kInfinity.
+  int add_variable(double lower, double upper, double objective,
+                   std::string name = {});
+
+  /// Adds a constraint row; returns its index.
+  int add_constraint(double lower, double upper, std::string name = {});
+
+  /// Adds (or accumulates) coefficient A[row, col] += value.
+  void add_coefficient(int row, int col, double value);
+
+  /// Changes the objective coefficient of an existing variable.
+  void set_objective(int col, double value) { objective_[col] = value; }
+  /// Changes the bounds of an existing variable.
+  void set_variable_bounds(int col, double lower, double upper);
+  /// Changes the bounds of an existing row.
+  void set_constraint_bounds(int row, double lower, double upper);
+
+  int num_variables() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(row_lower_.size()); }
+  int num_entries() const { return static_cast<int>(entries_.size()); }
+
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<double>& col_lower() const { return col_lower_; }
+  const std::vector<double>& col_upper() const { return col_upper_; }
+  const std::vector<double>& row_lower() const { return row_lower_; }
+  const std::vector<double>& row_upper() const { return row_upper_; }
+  const std::vector<linalg::Triplet>& entries() const { return entries_; }
+  const std::string& variable_name(int col) const { return col_names_[col]; }
+  const std::string& constraint_name(int row) const { return row_names_[row]; }
+
+  /// Freezes the coefficient triplets into a CSC matrix
+  /// (num_constraints x num_variables).
+  linalg::SparseMatrix build_matrix() const;
+
+  /// Evaluates c^T x for a full-length primal vector.
+  double objective_value(const linalg::Vector& x) const;
+
+  /// Maximum violation of row and column bounds at x (feasibility check).
+  double max_violation(const linalg::Vector& x) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> col_lower_, col_upper_;
+  std::vector<double> row_lower_, row_upper_;
+  std::vector<std::string> col_names_, row_names_;
+  std::vector<linalg::Triplet> entries_;
+};
+
+}  // namespace postcard::lp

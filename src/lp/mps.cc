@@ -1,0 +1,338 @@
+#include "lp/mps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace postcard::lp {
+
+namespace {
+
+std::string row_name(int i) { return "R" + std::to_string(i); }
+std::string col_name(int j) { return "C" + std::to_string(j); }
+
+struct RowKind {
+  char type;      // 'E', 'L', 'G', or 'N' (free row)
+  double rhs;     // canonical right-hand side
+  double range;   // 0 when not ranged
+};
+
+/// Classifies a model row into MPS row type + RHS + RANGES entry.
+RowKind classify(double lo, double hi) {
+  const bool has_lo = std::isfinite(lo);
+  const bool has_hi = std::isfinite(hi);
+  if (has_lo && has_hi) {
+    if (hi - lo == 0.0) return {'E', lo, 0.0};
+    return {'L', hi, hi - lo};  // L row with a range covers [lo, hi]
+  }
+  if (has_hi) return {'L', hi, 0.0};
+  if (has_lo) return {'G', lo, 0.0};
+  return {'N', 0.0, 0.0};
+}
+
+}  // namespace
+
+void write_mps(const LpModel& model, std::ostream& out, const std::string& name) {
+  out << "NAME " << name << "\n";
+  out << "ROWS\n";
+  out << " N COST\n";
+  std::vector<RowKind> kinds;
+  kinds.reserve(model.num_constraints());
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const RowKind k = classify(model.row_lower()[i], model.row_upper()[i]);
+    kinds.push_back(k);
+    out << ' ' << k.type << ' ' << row_name(i) << "\n";
+  }
+
+  // COLUMNS needs entries grouped per column: go through the CSC matrix.
+  const linalg::SparseMatrix a = model.build_matrix();
+  out << "COLUMNS\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double c = model.objective()[j];
+    if (c != 0.0) {
+      out << "    " << col_name(j) << " COST " << c << "\n";
+    }
+    for (linalg::Index p = a.col_begin(j); p < a.col_end(j); ++p) {
+      out << "    " << col_name(j) << ' ' << row_name(a.row_idx()[p]) << ' '
+          << a.values()[p] << "\n";
+    }
+  }
+
+  out << "RHS\n";
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    if (kinds[i].type != 'N' && kinds[i].rhs != 0.0) {
+      out << "    RHS1 " << row_name(i) << ' ' << kinds[i].rhs << "\n";
+    }
+  }
+  bool any_range = false;
+  for (const RowKind& k : kinds) any_range |= k.range != 0.0;
+  if (any_range) {
+    out << "RANGES\n";
+    for (int i = 0; i < model.num_constraints(); ++i) {
+      if (kinds[i].range != 0.0) {
+        out << "    RNG1 " << row_name(i) << ' ' << kinds[i].range << "\n";
+      }
+    }
+  }
+
+  out << "BOUNDS\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double lo = model.col_lower()[j];
+    const double hi = model.col_upper()[j];
+    const bool has_lo = std::isfinite(lo);
+    const bool has_hi = std::isfinite(hi);
+    if (has_lo && has_hi && hi - lo == 0.0) {
+      out << " FX BND1 " << col_name(j) << ' ' << lo << "\n";
+      continue;
+    }
+    if (!has_lo && !has_hi) {
+      out << " FR BND1 " << col_name(j) << "\n";
+      continue;
+    }
+    if (!has_lo) {
+      out << " MI BND1 " << col_name(j) << "\n";
+    } else if (lo != 0.0) {
+      out << " LO BND1 " << col_name(j) << ' ' << lo << "\n";
+    }
+    if (has_hi) {
+      out << " UP BND1 " << col_name(j) << ' ' << hi << "\n";
+    }
+  }
+  out << "ENDATA\n";
+}
+
+namespace {
+
+struct Tokenized {
+  std::vector<std::string> tokens;
+  bool section_header = false;  // token started in column 1
+};
+
+bool next_line(std::istream& in, Tokenized& out, int& line_no) {
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '*') continue;  // comment
+    std::istringstream ss(line);
+    out.tokens.clear();
+    std::string tok;
+    while (ss >> tok) out.tokens.push_back(tok);
+    if (out.tokens.empty()) continue;
+    out.section_header = !line.empty() && line[0] != ' ' && line[0] != '\t';
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::runtime_error("MPS line " + std::to_string(line_no) + ": " + what);
+}
+
+double parse_number(const std::string& tok, int line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) fail(line_no, "malformed number '" + tok + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line_no, "malformed number '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+LpModel read_mps(std::istream& in) {
+  enum class Section { kNone, kRows, kColumns, kRhs, kRanges, kBounds, kDone };
+  Section section = Section::kNone;
+  int line_no = 0;
+
+  std::string objective_row;
+  std::map<std::string, int> rows;  // constraint rows only
+  std::map<std::string, int> cols;
+  // Deferred data: the LpModel is assembled at the end so bounds/RHS can
+  // arrive in any order.
+  struct ColData {
+    double objective = 0.0;
+    double lo = 0.0, hi = kInfinity;
+    bool lo_set = false, hi_set = false;
+    std::vector<std::pair<int, double>> entries;
+  };
+  std::vector<ColData> col_data;
+  std::vector<char> types;
+  std::vector<double> rhs;
+  std::vector<double> range;
+
+  Tokenized t;
+  while (next_line(in, t, line_no)) {
+    if (t.section_header) {
+      const std::string& head = t.tokens[0];
+      if (head == "NAME") {
+        continue;
+      } else if (head == "ROWS") {
+        section = Section::kRows;
+      } else if (head == "COLUMNS") {
+        section = Section::kColumns;
+      } else if (head == "RHS") {
+        section = Section::kRhs;
+      } else if (head == "RANGES") {
+        section = Section::kRanges;
+      } else if (head == "BOUNDS") {
+        section = Section::kBounds;
+      } else if (head == "ENDATA") {
+        section = Section::kDone;
+        break;
+      } else {
+        fail(line_no, "unknown section '" + head + "'");
+      }
+      continue;
+    }
+
+    switch (section) {
+      case Section::kRows: {
+        if (t.tokens.size() != 2) fail(line_no, "ROWS entry needs 'type name'");
+        const char type = static_cast<char>(std::toupper(t.tokens[0][0]));
+        const std::string& rname = t.tokens[1];
+        if (type == 'N') {
+          if (objective_row.empty()) objective_row = rname;
+          // additional free rows are ignored (standard practice)
+          break;
+        }
+        if (type != 'E' && type != 'L' && type != 'G') {
+          fail(line_no, "unknown row type");
+        }
+        if (rows.count(rname)) fail(line_no, "duplicate row '" + rname + "'");
+        rows[rname] = static_cast<int>(types.size());
+        types.push_back(type);
+        rhs.push_back(0.0);
+        range.push_back(0.0);
+        break;
+      }
+      case Section::kColumns: {
+        // "col row value [row value]"
+        if (t.tokens.size() < 3 || t.tokens.size() % 2 == 0) {
+          fail(line_no, "COLUMNS entry needs 'col row value [row value]'");
+        }
+        const std::string& cname = t.tokens[0];
+        auto [it, inserted] = cols.try_emplace(cname, static_cast<int>(col_data.size()));
+        if (inserted) col_data.emplace_back();
+        ColData& cd = col_data[it->second];
+        for (std::size_t k = 1; k + 1 < t.tokens.size(); k += 2) {
+          const std::string& rname = t.tokens[k];
+          const double value = parse_number(t.tokens[k + 1], line_no);
+          if (rname == objective_row) {
+            cd.objective += value;
+          } else {
+            const auto rit = rows.find(rname);
+            if (rit == rows.end()) fail(line_no, "unknown row '" + rname + "'");
+            cd.entries.emplace_back(rit->second, value);
+          }
+        }
+        break;
+      }
+      case Section::kRhs: {
+        if (t.tokens.size() < 3 || t.tokens.size() % 2 == 0) {
+          fail(line_no, "RHS entry needs 'set row value [row value]'");
+        }
+        for (std::size_t k = 1; k + 1 < t.tokens.size(); k += 2) {
+          if (t.tokens[k] == objective_row) continue;  // objective offset: skip
+          const auto rit = rows.find(t.tokens[k]);
+          if (rit == rows.end()) fail(line_no, "unknown row '" + t.tokens[k] + "'");
+          rhs[rit->second] = parse_number(t.tokens[k + 1], line_no);
+        }
+        break;
+      }
+      case Section::kRanges: {
+        if (t.tokens.size() < 3 || t.tokens.size() % 2 == 0) {
+          fail(line_no, "RANGES entry needs 'set row value [row value]'");
+        }
+        for (std::size_t k = 1; k + 1 < t.tokens.size(); k += 2) {
+          const auto rit = rows.find(t.tokens[k]);
+          if (rit == rows.end()) fail(line_no, "unknown row '" + t.tokens[k] + "'");
+          range[rit->second] = parse_number(t.tokens[k + 1], line_no);
+        }
+        break;
+      }
+      case Section::kBounds: {
+        if (t.tokens.size() < 3) fail(line_no, "BOUNDS entry too short");
+        const std::string kind = t.tokens[0];
+        const std::string& cname = t.tokens[2];
+        const auto cit = cols.find(cname);
+        if (cit == cols.end()) fail(line_no, "unknown column '" + cname + "'");
+        ColData& cd = col_data[cit->second];
+        auto value = [&]() {
+          if (t.tokens.size() < 4) fail(line_no, kind + " bound needs a value");
+          return parse_number(t.tokens[3], line_no);
+        };
+        if (kind == "LO") {
+          cd.lo = value();
+          cd.lo_set = true;
+        } else if (kind == "UP") {
+          cd.hi = value();
+          cd.hi_set = true;
+        } else if (kind == "FX") {
+          cd.lo = cd.hi = value();
+          cd.lo_set = cd.hi_set = true;
+        } else if (kind == "FR") {
+          cd.lo = -kInfinity;
+          cd.hi = kInfinity;
+          cd.lo_set = cd.hi_set = true;
+        } else if (kind == "MI") {
+          cd.lo = -kInfinity;
+          cd.lo_set = true;
+        } else if (kind == "PL") {
+          cd.hi = kInfinity;
+          cd.hi_set = true;
+        } else {
+          fail(line_no, "unsupported bound type '" + kind + "'");
+        }
+        break;
+      }
+      case Section::kNone:
+      case Section::kDone:
+        fail(line_no, "data outside any section");
+    }
+  }
+  if (section != Section::kDone) {
+    fail(line_no, "missing ENDATA");
+  }
+
+  // Assemble the model: rows first (bounds from type/rhs/range), then cols.
+  LpModel model;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    double lo, hi;
+    const double r = range[i];
+    switch (types[i]) {
+      case 'E':
+        lo = rhs[i] + std::min(0.0, r);
+        hi = rhs[i] + std::max(0.0, r);
+        break;
+      case 'L':
+        hi = rhs[i];
+        lo = r != 0.0 ? rhs[i] - std::abs(r) : -kInfinity;
+        break;
+      default:  // 'G'
+        lo = rhs[i];
+        hi = r != 0.0 ? rhs[i] + std::abs(r) : kInfinity;
+        break;
+    }
+    model.add_constraint(lo, hi);
+  }
+  // Columns must be added in index order (cols map is name-ordered).
+  std::vector<const std::string*> by_index(col_data.size());
+  for (const auto& [cname, j] : cols) by_index[j] = &cname;
+  for (std::size_t j = 0; j < col_data.size(); ++j) {
+    const ColData& cd = col_data[j];
+    const int var = model.add_variable(cd.lo, cd.hi, cd.objective, *by_index[j]);
+    for (const auto& [row, value] : cd.entries) {
+      model.add_coefficient(row, var, value);
+    }
+  }
+  return model;
+}
+
+}  // namespace postcard::lp

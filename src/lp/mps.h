@@ -1,0 +1,27 @@
+// MPS model interchange (free format).
+//
+// Lets the LP substrate talk to the rest of the optimization world: models
+// built by LpModel can be dumped for debugging with external solvers, and
+// externally produced MPS files can be solved by this library. Supported
+// sections: NAME, ROWS (N/E/L/G), COLUMNS, RHS, RANGES, BOUNDS
+// (LO/UP/FX/FR/MI/PL), ENDATA. Continuous variables only; the first N row
+// is the objective. Row/column identifiers are generated on write (R0, R1,
+// ... / C0, C1, ...) since LpModel names are optional and not unique.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/model.h"
+
+namespace postcard::lp {
+
+/// Writes `model` as free-format MPS.
+void write_mps(const LpModel& model, std::ostream& out,
+               const std::string& name = "POSTCARD");
+
+/// Parses a free-format MPS stream. Throws std::runtime_error with a line
+/// number on malformed input.
+LpModel read_mps(std::istream& in);
+
+}  // namespace postcard::lp

@@ -1,0 +1,565 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+
+namespace postcard::lp {
+
+namespace {
+constexpr double kDevexReset = 1e8;  // reference-weight cap before reset
+
+bool is_fixed(double lo, double hi) {
+  return std::isfinite(lo) && std::isfinite(hi) && hi - lo <= 0.0;
+}
+}  // namespace
+
+namespace {
+// Shared default classification used by both start paths: nonbasic at the
+// bound nearest zero, or free at zero.
+template <class Status>
+void classify_default(double lo, double hi, Status& status, double& value,
+                      Status at_lower, Status at_upper, Status free_status) {
+  if (std::isfinite(lo) && (!std::isfinite(hi) || std::abs(lo) <= std::abs(hi))) {
+    status = at_lower;
+    value = lo;
+  } else if (std::isfinite(hi)) {
+    status = at_upper;
+    value = hi;
+  } else {
+    status = free_status;
+    value = 0.0;
+  }
+}
+}  // namespace
+
+void RevisedSimplex::cold_start() {
+  art_row_.clear();
+  art_sign_.clear();
+  lower_.resize(static_cast<std::size_t>(n_ + m_));
+  upper_.resize(static_cast<std::size_t>(n_ + m_));
+  x_.assign(static_cast<std::size_t>(n_ + m_), 0.0);
+  vstat_.assign(static_cast<std::size_t>(n_ + m_), VarStatus::kFree);
+  basic_pos_.assign(static_cast<std::size_t>(n_ + m_), -1);
+  for (int j = 0; j < n_; ++j) {
+    classify_default(lower_[j], upper_[j], vstat_[j], x_[j],
+                     VarStatus::kAtLower, VarStatus::kAtUpper, VarStatus::kFree);
+  }
+
+  linalg::Vector activity(static_cast<std::size_t>(m_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    if (x_[j] == 0.0) continue;
+    for (linalg::Index p = a_.col_begin(j); p < a_.col_end(j); ++p) {
+      activity[a_.row_idx()[p]] += a_.values()[p] * x_[j];
+    }
+  }
+
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  for (int i = 0; i < m_; ++i) {
+    const int lj = n_ + i;
+    const double g = activity[i];
+    const double lo = lower_[lj], hi = upper_[lj];
+    const double scale =
+        1.0 + std::max(std::isfinite(lo) ? std::abs(lo) : 0.0,
+                       std::isfinite(hi) ? std::abs(hi) : 0.0);
+    if (g >= lo - options_.feas_tol * scale && g <= hi + options_.feas_tol * scale) {
+      basis_[i] = lj;
+      vstat_[lj] = VarStatus::kBasic;
+      basic_pos_[lj] = i;
+      x_[lj] = g;
+      continue;
+    }
+    // Row infeasible at the starting point: logical pinned at its nearest
+    // bound, artificial absorbs the residual and enters the basis. The row
+    // reads a^T x - s + sign * t = 0, so sign = -1 absorbs a positive
+    // residual (g > hi) and sign = +1 a negative one (g < lo).
+    double sign, value;
+    if (g > hi) {
+      vstat_[lj] = VarStatus::kAtUpper;
+      x_[lj] = hi;
+      sign = -1.0;
+      value = g - hi;
+    } else {
+      vstat_[lj] = VarStatus::kAtLower;
+      x_[lj] = lo;
+      sign = 1.0;
+      value = lo - g;
+    }
+    art_row_.push_back(i);
+    art_sign_.push_back(sign);
+    const int aj = n_ + m_ + static_cast<int>(art_row_.size()) - 1;
+    lower_.push_back(0.0);
+    upper_.push_back(kInfinity);
+    x_.push_back(value);
+    vstat_.push_back(VarStatus::kBasic);
+    basic_pos_.push_back(i);
+    basis_[i] = aj;
+  }
+}
+
+bool RevisedSimplex::try_warm_start(const WarmStart& warm) {
+  if (warm.basis.size() != static_cast<std::size_t>(m_)) return false;
+  if (warm.row_status.size() != static_cast<std::size_t>(m_)) return false;
+  if (warm.col_status.size() > static_cast<std::size_t>(n_)) return false;
+
+  art_row_.clear();
+  art_sign_.clear();
+  lower_.resize(static_cast<std::size_t>(n_ + m_));
+  upper_.resize(static_cast<std::size_t>(n_ + m_));
+  x_.assign(static_cast<std::size_t>(n_ + m_), 0.0);
+  vstat_.assign(static_cast<std::size_t>(n_ + m_), VarStatus::kFree);
+  basic_pos_.assign(static_cast<std::size_t>(n_ + m_), -1);
+
+  // Defaults first (covers columns newer than the snapshot), then restore.
+  for (int j = 0; j < n_; ++j) {
+    classify_default(lower_[j], upper_[j], vstat_[j], x_[j],
+                     VarStatus::kAtLower, VarStatus::kAtUpper, VarStatus::kFree);
+  }
+  auto restore = [&](int j, signed char saved) {
+    const auto st = static_cast<VarStatus>(saved);
+    switch (st) {
+      case VarStatus::kAtLower:
+        if (!std::isfinite(lower_[j])) return false;
+        vstat_[j] = st;
+        x_[j] = lower_[j];
+        return true;
+      case VarStatus::kAtUpper:
+        if (!std::isfinite(upper_[j])) return false;
+        vstat_[j] = st;
+        x_[j] = upper_[j];
+        return true;
+      case VarStatus::kFree:
+        vstat_[j] = st;
+        x_[j] = 0.0;
+        return true;
+      case VarStatus::kBasic:
+        vstat_[j] = st;  // value filled by recompute_basic_values()
+        return true;
+    }
+    return false;
+  };
+  for (std::size_t j = 0; j < warm.col_status.size(); ++j) {
+    if (!restore(static_cast<int>(j), warm.col_status[j])) return false;
+  }
+  for (int i = 0; i < m_; ++i) {
+    if (!restore(n_ + i, warm.row_status[i])) return false;
+  }
+
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  for (int i = 0; i < m_; ++i) {
+    const int code = warm.basis[i];
+    int var;
+    if (code >= 0) {
+      if (code >= n_) return false;
+      var = code;
+    } else {
+      const int row = -code - 1;
+      if (row < 0 || row >= m_) return false;
+      var = n_ + row;
+    }
+    if (basic_pos_[var] >= 0) return false;  // duplicate basic variable
+    if (vstat_[var] != VarStatus::kBasic) return false;
+    basis_[i] = var;
+    basic_pos_[var] = i;
+  }
+  // Every kBasic-status variable must actually sit in the basis.
+  for (int j = 0; j < n_ + m_; ++j) {
+    if (vstat_[j] == VarStatus::kBasic && basic_pos_[j] < 0) return false;
+  }
+  return true;
+}
+
+RevisedSimplex::WarmStart RevisedSimplex::extract_warm_start() const {
+  WarmStart w;
+  if (basis_.empty() && m_ > 0) return w;
+  w.col_status.resize(static_cast<std::size_t>(n_));
+  for (int j = 0; j < n_; ++j) {
+    w.col_status[j] = static_cast<signed char>(vstat_[j]);
+  }
+  w.row_status.resize(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    w.row_status[i] = static_cast<signed char>(vstat_[n_ + i]);
+  }
+  w.basis.resize(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[i];
+    if (b < n_) {
+      w.basis[i] = b;
+    } else if (b < n_ + m_) {
+      w.basis[i] = -(b - n_ + 1);
+    } else {
+      w.basis.clear();  // an artificial is still basic: snapshot unusable
+      break;
+    }
+  }
+  return w;
+}
+
+Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm) {
+  a_ = model.build_matrix();
+  n_ = model.num_variables();
+  m_ = model.num_constraints();
+  art_row_.clear();
+  art_sign_.clear();
+
+  {
+    linalg::LuFactorization::Options lu_opts;
+    lu_opts.max_updates = options_.refactor_interval;
+    lu_ = linalg::LuFactorization(lu_opts);
+  }
+
+  lower_.assign(static_cast<std::size_t>(n_ + m_), 0.0);
+  upper_.assign(static_cast<std::size_t>(n_ + m_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    lower_[j] = model.col_lower()[j];
+    upper_[j] = model.col_upper()[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    lower_[n_ + i] = model.row_lower()[i];
+    upper_[n_ + i] = model.row_upper()[i];
+  }
+
+  bool started = false;
+  if (warm && !warm->basis.empty()) {
+    started = try_warm_start(*warm) && refactorize();
+  }
+  if (!started) {
+    cold_start();
+    if (!refactorize()) {
+      Solution result;
+      result.status = SolveStatus::kNumericalFailure;
+      return result;
+    }
+  }
+
+  const int total = total_variables();
+  cost_.assign(static_cast<std::size_t>(total), 0.0);
+  base_cost_.assign(static_cast<std::size_t>(total), 0.0);
+  d_.assign(static_cast<std::size_t>(total), 0.0);
+  devex_.assign(static_cast<std::size_t>(total), 1.0);
+  work_y_.assign(static_cast<std::size_t>(m_), 0.0);
+  work_w_.assign(static_cast<std::size_t>(m_), 0.0);
+  work_rho_.assign(static_cast<std::size_t>(m_), 0.0);
+  work_rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+
+  Solution result;
+  stat_degenerate_ = stat_flips_ = 0;
+  recompute_basic_values();
+
+  long iterations = 0;
+  const long limit = options_.max_iterations >= 0
+                         ? options_.max_iterations
+                         : 2000 + 100L * (m_ + n_);
+
+  auto finish = [&](SolveStatus status) {
+    result.status = status;
+    result.iterations = iterations;
+    result.degenerate_pivots = stat_degenerate_;
+    result.bound_flips = stat_flips_;
+    result.x.assign(x_.begin(), x_.begin() + n_);
+    if (status == SolveStatus::kOptimal || status == SolveStatus::kIterationLimit) {
+      result.objective = model.objective_value(result.x);
+      // Duals against the true costs.
+      for (int i = 0; i < m_; ++i) work_y_[i] = base_cost_[basis_[i]];
+      lu_.btran(work_y_);
+      result.duals = work_y_;
+      result.reduced_costs.resize(static_cast<std::size_t>(n_));
+      for (int j = 0; j < n_; ++j) {
+        result.reduced_costs[j] = base_cost_[j] - column_dot(j, work_y_);
+      }
+    }
+    return result;
+  };
+
+  // A phase is first run with perturbed costs; both a claimed optimum and a
+  // claimed unbounded ray are then re-verified against the true costs (the
+  // perturbation gives flat directions a slope, so a zero-cost ray with an
+  // infinite bound looks falsely unbounded).
+  auto run_perturbed_phase = [&](unsigned seed) {
+    apply_perturbation(seed);
+    SolveStatus s = run_phase(&iterations, limit);
+    if (s == SolveStatus::kOptimal || s == SolveStatus::kUnbounded) {
+      remove_perturbation();
+      s = run_phase(&iterations, limit);
+    }
+    return s;
+  };
+
+  // ---- Phase 1: drive the artificials to zero.
+  if (!art_row_.empty()) {
+    for (std::size_t k = 0; k < art_row_.size(); ++k) base_cost_[n_ + m_ + k] = 1.0;
+    const SolveStatus s1 = run_perturbed_phase(0x9e3779b9u);
+    if (s1 == SolveStatus::kUnbounded || s1 == SolveStatus::kNumericalFailure) {
+      return finish(SolveStatus::kNumericalFailure);
+    }
+    if (s1 == SolveStatus::kIterationLimit) return finish(s1);
+    result.phase1_iterations = iterations;
+
+    double infeasibility = 0.0;
+    for (std::size_t k = 0; k < art_row_.size(); ++k) {
+      infeasibility += std::abs(x_[n_ + m_ + k]);
+    }
+    if (infeasibility > options_.feas_tol * (1.0 + infeasibility)) {
+      return finish(SolveStatus::kInfeasible);
+    }
+    for (std::size_t k = 0; k < art_row_.size(); ++k) {
+      const int aj = n_ + m_ + static_cast<int>(k);
+      lower_[aj] = 0.0;
+      upper_[aj] = 0.0;
+      base_cost_[aj] = 0.0;
+      if (vstat_[aj] != VarStatus::kBasic) x_[aj] = 0.0;
+    }
+  }
+
+  // ---- Phase 2: true objective.
+  for (int j = 0; j < n_; ++j) base_cost_[j] = model.objective()[j];
+  for (int j = n_; j < total; ++j) base_cost_[j] = 0.0;
+  return finish(run_perturbed_phase(0x7f4a7c15u));
+}
+
+void RevisedSimplex::apply_perturbation(unsigned seed) {
+  cost_ = base_cost_;
+  if (options_.perturbation <= 0.0) return;
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.5, 1.0);
+  for (int j = 0; j < total_variables(); ++j) {
+    if (is_fixed(lower_[j], upper_[j])) continue;
+    cost_[j] += options_.perturbation * (1.0 + std::abs(cost_[j])) * u(rng);
+  }
+}
+
+void RevisedSimplex::remove_perturbation() { cost_ = base_cost_; }
+
+bool RevisedSimplex::refactorize() {
+  std::vector<linalg::Triplet> triplets;
+  for (int i = 0; i < m_; ++i) {
+    for_column(basis_[i], [&](int row, double v) {
+      triplets.push_back({static_cast<linalg::Index>(row),
+                          static_cast<linalg::Index>(i), v});
+    });
+  }
+  const auto b = linalg::SparseMatrix::from_triplets(
+      static_cast<linalg::Index>(m_), static_cast<linalg::Index>(m_), triplets);
+  return lu_.factorize(b) == linalg::FactorStatus::kOk;
+}
+
+void RevisedSimplex::recompute_basic_values() {
+  work_rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int j = 0; j < total_variables(); ++j) {
+    if (vstat_[j] == VarStatus::kBasic || x_[j] == 0.0) continue;
+    const double xj = x_[j];
+    for_column(j, [&](int i, double v) { work_rhs_[i] -= v * xj; });
+  }
+  lu_.ftran(work_rhs_);
+  for (int i = 0; i < m_; ++i) x_[basis_[i]] = work_rhs_[i];
+}
+
+void RevisedSimplex::recompute_reduced_costs() {
+  for (int i = 0; i < m_; ++i) work_y_[i] = cost_[basis_[i]];
+  lu_.btran(work_y_);
+  double cost_scale = 1.0;
+  const int total = total_variables();
+  for (int j = 0; j < total; ++j) {
+    cost_scale = std::max(cost_scale, std::abs(cost_[j]));
+    d_[j] = vstat_[j] == VarStatus::kBasic ? 0.0
+                                           : cost_[j] - column_dot(j, work_y_);
+  }
+  dual_tol_ = options_.opt_tol * cost_scale;
+}
+
+double RevisedSimplex::violation(int j) const {
+  if (vstat_[j] == VarStatus::kBasic || is_fixed(lower_[j], upper_[j])) {
+    return 0.0;
+  }
+  switch (vstat_[j]) {
+    case VarStatus::kAtLower: return -d_[j];
+    case VarStatus::kAtUpper: return d_[j];
+    case VarStatus::kFree: return std::abs(d_[j]);
+    case VarStatus::kBasic: break;
+  }
+  return 0.0;
+}
+
+int RevisedSimplex::price() const {
+  int best = -1;
+  double best_score = 0.0;
+  const int total = total_variables();
+  for (int j = 0; j < total; ++j) {
+    const double v = violation(j);
+    if (v <= dual_tol_) continue;
+    const double score = v * v / devex_[j];
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+RevisedSimplex::StepResult RevisedSimplex::iterate() {
+  if (lu_.should_refactorize()) {
+    if (!refactorize()) return StepResult::kNumericalFailure;
+    recompute_basic_values();
+    recompute_reduced_costs();
+  }
+
+  const int q = price();
+  if (q < 0) return StepResult::kOptimal;
+
+  const double dq = d_[q];
+  double sigma;
+  switch (vstat_[q]) {
+    case VarStatus::kAtLower: sigma = 1.0; break;
+    case VarStatus::kAtUpper: sigma = -1.0; break;
+    default: sigma = dq < 0.0 ? 1.0 : -1.0; break;
+  }
+
+  // w = B^{-1} a_q.
+  work_w_.assign(static_cast<std::size_t>(m_), 0.0);
+  for_column(q, [&](int i, double v) { work_w_[i] = v; });
+  lu_.ftran(work_w_);
+
+  // ---- Harris two-pass ratio test.
+  double t_flip = kInfinity;
+  if (std::isfinite(lower_[q]) && std::isfinite(upper_[q])) {
+    t_flip = upper_[q] - lower_[q];
+  }
+  // Pass 1: step limit with bounds relaxed by the feasibility tolerance.
+  double t_max = t_flip;
+  for (int i = 0; i < m_; ++i) {
+    const double wbar = sigma * work_w_[i];
+    if (std::abs(wbar) <= options_.pivot_tol) continue;
+    const int bj = basis_[i];
+    double t_rel;
+    if (wbar > 0.0) {
+      if (!std::isfinite(lower_[bj])) continue;
+      const double tau = options_.feas_tol * (1.0 + std::abs(lower_[bj]));
+      t_rel = (x_[bj] - lower_[bj] + tau) / wbar;
+    } else {
+      if (!std::isfinite(upper_[bj])) continue;
+      const double tau = options_.feas_tol * (1.0 + std::abs(upper_[bj]));
+      t_rel = (x_[bj] - upper_[bj] - tau) / wbar;
+    }
+    if (t_rel < 0.0) t_rel = 0.0;
+    t_max = std::min(t_max, t_rel);
+  }
+  // Pass 2: largest pivot among candidates within the relaxed limit.
+  int leave_pos = -1;
+  double leave_pivot = 0.0;
+  double t_exact_chosen = kInfinity;
+  for (int i = 0; i < m_; ++i) {
+    const double wbar = sigma * work_w_[i];
+    if (std::abs(wbar) <= options_.pivot_tol) continue;
+    const int bj = basis_[i];
+    double t_exact;
+    if (wbar > 0.0) {
+      if (!std::isfinite(lower_[bj])) continue;
+      t_exact = (x_[bj] - lower_[bj]) / wbar;
+    } else {
+      if (!std::isfinite(upper_[bj])) continue;
+      t_exact = (x_[bj] - upper_[bj]) / wbar;
+    }
+    if (t_exact < 0.0) t_exact = 0.0;
+    if (t_exact <= t_max && std::abs(wbar) > std::abs(leave_pivot)) {
+      leave_pivot = wbar;
+      leave_pos = i;
+      t_exact_chosen = t_exact;
+    }
+  }
+
+  if (leave_pos < 0 && !std::isfinite(t_flip)) return StepResult::kUnbounded;
+
+  // Bound flip when it binds before the best pivot candidate.
+  if (leave_pos < 0 || t_flip <= t_exact_chosen) {
+    const double t = t_flip;
+    for (int i = 0; i < m_; ++i) {
+      if (work_w_[i] != 0.0) x_[basis_[i]] -= sigma * t * work_w_[i];
+    }
+    x_[q] = vstat_[q] == VarStatus::kAtLower ? upper_[q] : lower_[q];
+    vstat_[q] = vstat_[q] == VarStatus::kAtLower ? VarStatus::kAtUpper
+                                                 : VarStatus::kAtLower;
+    ++stat_flips_;
+    return StepResult::kStep;
+  }
+
+  // EXPAND-style anti-degeneracy: force a minimum step so the entering
+  // variable always moves. The leaving variable overshoots its bound by at
+  // most kMinStepFraction * feas_tol; it is snapped back below, and the tiny
+  // conservation error is flushed by recompute_basic_values() at the next
+  // refactorization. Without this, the time-expanded network LPs stall on
+  // >90% degenerate pivots.
+  const double min_step =
+      0.01 * options_.feas_tol / std::abs(leave_pivot);
+  const double t =
+      std::min(std::max(t_exact_chosen, min_step), std::max(t_max, 0.0));
+  if (t_exact_chosen <= 1e-12) ++stat_degenerate_;
+  if (t != 0.0) {
+    for (int i = 0; i < m_; ++i) {
+      if (work_w_[i] != 0.0) x_[basis_[i]] -= sigma * t * work_w_[i];
+    }
+  }
+
+  const int r = basis_[leave_pos];
+  const double xq_new = x_[q] + sigma * t;
+  if (leave_pivot > 0.0) {
+    vstat_[r] = VarStatus::kAtLower;
+    x_[r] = lower_[r];
+  } else {
+    vstat_[r] = VarStatus::kAtUpper;
+    x_[r] = upper_[r];
+  }
+  basic_pos_[r] = -1;
+
+  // ---- Pivot-row pass: update reduced costs and Devex weights.
+  const double alpha_q = work_w_[leave_pos];
+  work_rho_.assign(static_cast<std::size_t>(m_), 0.0);
+  work_rho_[leave_pos] = 1.0;
+  lu_.btran(work_rho_);
+  const double d_ratio = dq / alpha_q;
+  const double devex_q = devex_[q];
+  bool reset_devex = false;
+  const int total = total_variables();
+  for (int j = 0; j < total; ++j) {
+    if (vstat_[j] == VarStatus::kBasic || j == q) continue;
+    const double alpha_j = column_dot(j, work_rho_);
+    if (alpha_j == 0.0) continue;
+    d_[j] -= d_ratio * alpha_j;
+    const double candidate = (alpha_j * alpha_j) / (alpha_q * alpha_q) * devex_q;
+    if (candidate > devex_[j]) devex_[j] = candidate;
+    if (devex_[j] > kDevexReset) reset_devex = true;
+  }
+  d_[r] = -d_ratio;
+  devex_[r] = std::max(devex_q / (alpha_q * alpha_q), 1.0);
+  if (devex_[r] > kDevexReset) reset_devex = true;
+
+  vstat_[q] = VarStatus::kBasic;
+  d_[q] = 0.0;
+  basis_[leave_pos] = q;
+  basic_pos_[q] = leave_pos;
+  x_[q] = xq_new;
+
+  if (reset_devex) std::fill(devex_.begin(), devex_.end(), 1.0);
+
+  if (!lu_.update(work_w_, static_cast<linalg::Index>(leave_pos))) {
+    if (!refactorize()) return StepResult::kNumericalFailure;
+    recompute_basic_values();
+    recompute_reduced_costs();
+  }
+  return StepResult::kStep;
+}
+
+SolveStatus RevisedSimplex::run_phase(long* iterations, long iteration_limit) {
+  recompute_reduced_costs();
+  std::fill(devex_.begin(), devex_.end(), 1.0);
+  while (*iterations < iteration_limit) {
+    const StepResult r = iterate();
+    if (r == StepResult::kOptimal) return SolveStatus::kOptimal;
+    ++*iterations;
+    if (r == StepResult::kUnbounded) return SolveStatus::kUnbounded;
+    if (r == StepResult::kNumericalFailure) return SolveStatus::kNumericalFailure;
+  }
+  return SolveStatus::kIterationLimit;
+}
+
+}  // namespace postcard::lp

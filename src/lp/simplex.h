@@ -1,0 +1,142 @@
+// Bounded-variable two-phase revised simplex.
+//
+// The model  min c^T x,  rl <= Ax <= ru,  l <= x <= u  is solved in the
+// computational form  [A | -I] [x; s] = 0,  l <= x <= u,  rl <= s <= ru:
+// every row gets a logical variable equal to its activity. Phase 1 appends
+// one artificial (+/- unit column) per infeasible row and minimizes their
+// sum; phase 2 minimizes the true objective from the feasible basis.
+//
+// Techniques (the network LPs Postcard produces are massively degenerate,
+// so the textbook Dantzig iteration stalls):
+//   * Devex pricing (Forrest-Goldfarb reference weights), with reduced
+//     costs maintained incrementally from the pivot row and recomputed at
+//     every refactorization,
+//   * two-pass Harris ratio test: pass one relaxes bounds by the feasibility
+//     tolerance to find the step limit, pass two picks the largest pivot
+//     among the candidates within it,
+//   * deterministic cost perturbation per phase (removed before reporting;
+//     optimality is re-verified against the true costs and iterations resume
+//     if the perturbation changed the answer),
+//   * sparse LU basis (linalg::LuFactorization) with product-form updates
+//     and periodic refactorization.
+#pragma once
+
+#include <vector>
+
+#include "linalg/lu.h"
+#include "lp/model.h"
+#include "lp/status.h"
+
+namespace postcard::lp {
+
+class RevisedSimplex {
+ public:
+  struct Options {
+    double feas_tol = 1e-7;    // bound violation tolerance
+    double opt_tol = 1e-7;     // reduced-cost tolerance
+    double pivot_tol = 1e-7;   // smallest |w_i| eligible in the ratio test
+    double perturbation = 1e-7;  // relative cost perturbation (0 disables)
+    long max_iterations = -1;  // -1: 2000 + 100 * (rows + cols)
+    int refactor_interval = 100;
+  };
+
+  /// Basis snapshot for warm starts. Valid to reuse on a model with the SAME
+  /// rows (same bounds and coefficients for existing columns) and possibly
+  /// MORE columns appended at the end — the column-generation pattern. An
+  /// empty `basis` means "no usable snapshot".
+  struct WarmStart {
+    std::vector<signed char> col_status;  // per structural column
+    std::vector<signed char> row_status;  // per row (logical variable)
+    // Per row: basic variable. Values >= 0 index structural columns;
+    // value -(row+1) denotes the row's own logical.
+    std::vector<int> basis;
+  };
+
+  RevisedSimplex() : RevisedSimplex(Options{}) {}
+  explicit RevisedSimplex(Options options) : options_(options) {}
+
+  /// Solves the model. When `warm` holds a basis compatible with the model
+  /// (and it factorizes), phase 1 is skipped entirely; otherwise the solver
+  /// silently falls back to the cold start.
+  Solution solve(const LpModel& model, const WarmStart* warm = nullptr);
+
+  /// Captures the final basis of the last solve() for reuse. Returns an
+  /// unusable (empty-basis) snapshot when an artificial variable is still
+  /// basic or no solve has run.
+  WarmStart extract_warm_start() const;
+
+ private:
+  enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper, kFree };
+  enum class StepResult { kStep, kOptimal, kUnbounded, kNumericalFailure };
+
+  /// Visits the nonzero (row, value) entries of variable j's column in the
+  /// computational matrix [A | -I | artificials].
+  template <class Fn>
+  void for_column(int j, Fn&& fn) const {
+    if (j < n_) {
+      for (linalg::Index p = a_.col_begin(j); p < a_.col_end(j); ++p) {
+        fn(static_cast<int>(a_.row_idx()[p]), a_.values()[p]);
+      }
+    } else if (j < n_ + m_) {
+      fn(j - n_, -1.0);
+    } else {
+      fn(art_row_[j - n_ - m_], art_sign_[j - n_ - m_]);
+    }
+  }
+
+  double column_dot(int j, const linalg::Vector& y) const {
+    double s = 0.0;
+    for_column(j, [&](int i, double v) { s += v * y[i]; });
+    return s;
+  }
+
+  bool refactorize();
+  /// Installs statuses/basis from a snapshot; false when incompatible.
+  bool try_warm_start(const WarmStart& warm);
+  void cold_start();
+  void recompute_basic_values();
+  /// Recomputes duals y and the full reduced-cost vector d from scratch.
+  void recompute_reduced_costs();
+  /// Devex-scored entering variable, or -1 when dual-feasible.
+  int price() const;
+  StepResult iterate();
+  SolveStatus run_phase(long* iterations, long iteration_limit);
+  void apply_perturbation(unsigned seed);
+  void remove_perturbation();
+  int total_variables() const {
+    return n_ + m_ + static_cast<int>(art_row_.size());
+  }
+  /// Signed attractiveness of nonbasic j: positive means entering improves.
+  double violation(int j) const;
+
+  Options options_;
+
+  // Problem data in computational form.
+  linalg::SparseMatrix a_;             // structural columns
+  int n_ = 0;                          // structural count
+  int m_ = 0;                          // row count
+  std::vector<int> art_row_;           // artificial -> row
+  std::vector<double> art_sign_;       // artificial column value (+/-1)
+  std::vector<double> cost_;           // current-phase (perturbed) costs
+  std::vector<double> base_cost_;      // current-phase true costs
+  std::vector<double> lower_, upper_;  // bounds, all variables
+
+  // Basis state.
+  std::vector<int> basis_;        // row position -> variable
+  std::vector<VarStatus> vstat_;  // variable -> status
+  std::vector<int> basic_pos_;    // variable -> row position or -1
+  linalg::Vector x_;              // values of all variables
+  linalg::LuFactorization lu_;
+
+  // Pricing state.
+  std::vector<double> d_;       // reduced costs, maintained incrementally
+  std::vector<double> devex_;   // Devex reference weights
+  double dual_tol_ = 1e-7;
+
+  // Scratch.
+  linalg::Vector work_y_, work_w_, work_rho_, work_rhs_;
+  long stat_degenerate_ = 0;
+  long stat_flips_ = 0;
+};
+
+}  // namespace postcard::lp

@@ -1,0 +1,49 @@
+#include "lp/solver.h"
+
+#include "lp/ipm.h"
+#include "lp/presolve.h"
+#include "lp/simplex.h"
+
+namespace postcard::lp {
+
+namespace {
+
+Solution solve_direct(const LpModel& model, const SolverOptions& options) {
+  if (options.method == Method::kInteriorPoint) {
+    InteriorPoint::Options opts;
+    opts.tol = options.opt_tol;
+    if (options.max_iterations > 0) opts.max_iterations = options.max_iterations;
+    return InteriorPoint(opts).solve(model);
+  }
+  RevisedSimplex::Options opts;
+  opts.feas_tol = options.feas_tol;
+  opts.opt_tol = options.opt_tol;
+  opts.max_iterations = options.max_iterations;
+  return RevisedSimplex(opts).solve(model);
+}
+
+}  // namespace
+
+Solution solve(const LpModel& model, const SolverOptions& options) {
+  if (!options.presolve) return solve_direct(model, options);
+
+  Presolver presolver;
+  Presolver::Result reduced = presolver.reduce(model);
+  if (reduced.decided.has_value()) {
+    Solution s;
+    s.status = *reduced.decided;
+    return s;
+  }
+  const Solution inner = solve_direct(reduced.reduced, options);
+  if (inner.status == SolveStatus::kInfeasible ||
+      inner.status == SolveStatus::kUnbounded ||
+      inner.status == SolveStatus::kNumericalFailure) {
+    Solution s;
+    s.status = inner.status;
+    s.iterations = inner.iterations;
+    return s;
+  }
+  return presolver.postsolve(model, inner);
+}
+
+}  // namespace postcard::lp

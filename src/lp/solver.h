@@ -1,0 +1,31 @@
+// Unified entry point for solving LpModel instances.
+//
+// Dispatches to the revised simplex (default) or the Mehrotra interior-point
+// method. The simplex returns vertex solutions, which Postcard's plan
+// extraction prefers (sparser transfer schedules); the IPM is kept as an
+// independent cross-check and for the solver ablation benchmark.
+#pragma once
+
+#include "lp/model.h"
+#include "lp/status.h"
+
+namespace postcard::lp {
+
+enum class Method {
+  kSimplex,
+  kInteriorPoint,
+};
+
+struct SolverOptions {
+  Method method = Method::kSimplex;
+  double feas_tol = 1e-7;
+  double opt_tol = 1e-7;
+  long max_iterations = -1;  // -1: method-specific automatic limit
+  bool presolve = true;
+};
+
+/// Solves the model with the selected method. Never throws on numerical
+/// trouble; inspect Solution::status.
+Solution solve(const LpModel& model, const SolverOptions& options = {});
+
+}  // namespace postcard::lp

@@ -1,0 +1,50 @@
+// Solve statuses and the solution record shared by all LP algorithms.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "linalg/dense.h"
+
+namespace postcard::lp {
+
+/// Positive infinity used for absent bounds.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+/// Human-readable status name (for logs and test diagnostics).
+inline const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration_limit";
+    case SolveStatus::kNumericalFailure: return "numerical_failure";
+  }
+  return "unknown";
+}
+
+struct Solution {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  double objective = 0.0;
+  linalg::Vector x;              // primal values, one per model variable
+  linalg::Vector duals;          // one per model constraint
+  linalg::Vector reduced_costs;  // one per model variable
+  long iterations = 0;
+
+  // Simplex diagnostics (zero for other methods).
+  long phase1_iterations = 0;
+  long degenerate_pivots = 0;  // pivots with step length ~0
+  long bound_flips = 0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+}  // namespace postcard::lp

@@ -1,0 +1,68 @@
+// Inter-datacenter transfer requests.
+//
+// A "file" in the paper's generic sense: a block of delay-tolerant data
+// (backup, bulk update, MapReduce intermediate output, ...) described by the
+// four-tuple (s_k, d_k, F_k, T_k) of Sec. III, extended with the slot at
+// which it enters the system and a stable id for plan bookkeeping.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace postcard::net {
+
+struct FileRequest {
+  int id = 0;
+  int source = 0;
+  int destination = 0;
+  double size = 0.0;        // F_k, GB
+  int max_transfer_slots = 1;  // T_k, in time intervals
+  int release_slot = 0;     // t at which the file joins K(t)
+};
+
+/// Throws std::invalid_argument when the request is malformed with respect
+/// to the topology (bad endpoints, non-positive size or deadline).
+inline void validate(const FileRequest& file, const Topology& topology) {
+  const int n = topology.num_datacenters();
+  if (file.source < 0 || file.source >= n || file.destination < 0 ||
+      file.destination >= n) {
+    throw std::invalid_argument("file endpoint outside topology");
+  }
+  if (file.source == file.destination) {
+    throw std::invalid_argument("file source equals destination");
+  }
+  if (file.size <= 0.0) throw std::invalid_argument("file size must be positive");
+  if (file.max_transfer_slots < 1) {
+    throw std::invalid_argument("transfer deadline must be at least one slot");
+  }
+  if (file.release_slot < 0) {
+    throw std::invalid_argument("release slot must be non-negative");
+  }
+}
+
+/// Longest deadline in a batch; 0 for an empty batch.
+inline int max_deadline(const std::vector<FileRequest>& files) {
+  int m = 0;
+  for (const FileRequest& f : files) m = std::max(m, f.max_transfer_slots);
+  return m;
+}
+
+/// Index of the hardest-to-place file — the one with the largest required
+/// per-slot rate F_k / T_k. Used by the admission loops of both policies to
+/// pick a victim when a batch cannot be scheduled; -1 for an empty batch.
+inline int heaviest_file(const std::vector<FileRequest>& files) {
+  int pick = -1;
+  double worst = -1.0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const double rate = files[i].size / files[i].max_transfer_slots;
+    if (rate > worst) {
+      worst = rate;
+      pick = static_cast<int>(i);
+    }
+  }
+  return pick;
+}
+
+}  // namespace postcard::net

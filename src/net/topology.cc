@@ -1,0 +1,59 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+namespace postcard::net {
+
+Topology::Topology(int num_datacenters) : n_(num_datacenters) {
+  if (num_datacenters <= 0) {
+    throw std::invalid_argument("topology needs at least one datacenter");
+  }
+  index_.assign(static_cast<std::size_t>(n_) * n_, -1);
+}
+
+Topology Topology::complete(int num_datacenters, double capacity,
+                            const std::function<double(int, int)>& cost_fn) {
+  Topology t(num_datacenters);
+  for (int i = 0; i < num_datacenters; ++i) {
+    for (int j = 0; j < num_datacenters; ++j) {
+      if (i != j) t.set_link(i, j, capacity, cost_fn(i, j));
+    }
+  }
+  return t;
+}
+
+void Topology::set_link(int from, int to, double capacity, double unit_cost) {
+  if (from < 0 || from >= n_ || to < 0 || to >= n_) {
+    throw std::out_of_range("link endpoint outside topology");
+  }
+  if (from == to) throw std::invalid_argument("self-links are not allowed");
+  if (capacity < 0.0 || unit_cost < 0.0) {
+    throw std::invalid_argument("capacity and cost must be non-negative");
+  }
+  const int existing = index_[static_cast<std::size_t>(from) * n_ + to];
+  if (existing >= 0) {
+    links_[existing].capacity = capacity;
+    links_[existing].unit_cost = unit_cost;
+    return;
+  }
+  index_[static_cast<std::size_t>(from) * n_ + to] =
+      static_cast<int>(links_.size());
+  links_.push_back({from, to, capacity, unit_cost});
+}
+
+int Topology::link_index(int from, int to) const {
+  if (from < 0 || from >= n_ || to < 0 || to >= n_) return -1;
+  return index_[static_cast<std::size_t>(from) * n_ + to];
+}
+
+double Topology::capacity(int from, int to) const {
+  const int idx = link_index(from, to);
+  return idx >= 0 ? links_[idx].capacity : 0.0;
+}
+
+double Topology::unit_cost(int from, int to) const {
+  const int idx = link_index(from, to);
+  return idx >= 0 ? links_[idx].unit_cost : 0.0;
+}
+
+}  // namespace postcard::net

@@ -1,0 +1,54 @@
+// Inter-datacenter overlay network model.
+//
+// Datacenters of one cloud provider are vertices; every ordered pair can hold
+// a directed overlay link with a per-slot capacity (GB per time interval)
+// and a unit cost a_ij (dollars per GB) charged by the transit ISPs. The
+// paper's evaluation uses a complete graph; arbitrary subgraphs are supported
+// (absent links simply cannot carry traffic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace postcard::net {
+
+/// Directed overlay link between two datacenters.
+struct Link {
+  int from = 0;
+  int to = 0;
+  double capacity = 0.0;   // GB per time interval (t-bar)
+  double unit_cost = 0.0;  // cost per GB
+};
+
+class Topology {
+ public:
+  explicit Topology(int num_datacenters);
+
+  /// Builds the paper's evaluation topology: a complete directed graph with
+  /// uniform capacity and per-link unit costs provided by `cost_fn(i, j)`.
+  static Topology complete(int num_datacenters, double capacity,
+                           const std::function<double(int, int)>& cost_fn);
+
+  /// Adds or replaces the directed link i -> j. Self-links are rejected
+  /// (storage is modelled by the time-expanded graph, not the topology).
+  void set_link(int from, int to, double capacity, double unit_cost);
+
+  int num_datacenters() const { return n_; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const std::vector<Link>& links() const { return links_; }
+  const Link& link(int index) const { return links_[index]; }
+
+  bool has_link(int from, int to) const { return link_index(from, to) >= 0; }
+  /// Dense (from, to) -> link index map; -1 when the link does not exist.
+  int link_index(int from, int to) const;
+  double capacity(int from, int to) const;
+  double unit_cost(int from, int to) const;
+
+ private:
+  int n_;
+  std::vector<Link> links_;
+  std::vector<int> index_;  // n*n dense map into links_
+};
+
+}  // namespace postcard::net

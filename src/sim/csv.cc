@@ -1,0 +1,63 @@
+#include "sim/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace postcard::sim {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::cell(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string CsvWriter::cell(long value) {
+  return std::to_string(value);
+}
+
+void write_cost_series_csv(std::ostream& out,
+                           const std::vector<std::string>& labels,
+                           const std::vector<const RunResult*>& runs) {
+  if (labels.size() != runs.size()) {
+    throw std::invalid_argument("one label per run required");
+  }
+  std::size_t slots = 0;
+  for (const RunResult* r : runs) {
+    if (slots == 0) slots = r->cost_series.size();
+    if (r->cost_series.size() != slots) {
+      throw std::invalid_argument("runs cover different slot counts");
+    }
+  }
+  CsvWriter csv(out);
+  std::vector<std::string> header = {"slot"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  csv.row(header);
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::vector<std::string> cells = {CsvWriter::cell(static_cast<long>(s))};
+    for (const RunResult* r : runs) {
+      cells.push_back(CsvWriter::cell(r->cost_series[s]));
+    }
+    csv.row(cells);
+  }
+}
+
+}  // namespace postcard::sim

@@ -1,0 +1,43 @@
+// Minimal CSV emission for simulation results.
+//
+// The bench binaries print google-benchmark counters; for plotting the
+// paper's figures (cost trajectories, sweeps) a plain CSV is friendlier.
+// CsvWriter quotes fields only when needed and is deliberately tiny — it is
+// an output sink, not a data-frame library.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace postcard::sim {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row of already-formatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  static std::string cell(double value);
+  static std::string cell(long value);
+  static std::string cell(int value) { return cell(static_cast<long>(value)); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& out_;
+};
+
+/// Dumps per-slot cost trajectories of one or more labelled runs:
+/// header "slot,<label1>,<label2>,..." followed by one row per slot.
+/// All runs must have equal series lengths.
+void write_cost_series_csv(std::ostream& out,
+                           const std::vector<std::string>& labels,
+                           const std::vector<const RunResult*>& runs);
+
+}  // namespace postcard::sim

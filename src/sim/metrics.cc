@@ -1,0 +1,34 @@
+#include "sim/metrics.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace postcard::sim {
+
+double student_t_975(int df) {
+  if (df < 1) throw std::invalid_argument("degrees of freedom must be >= 1");
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df <= 30) return kTable[df - 1];
+  return 1.960;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = static_cast<int>(samples.size());
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / s.n;
+  if (s.n == 1) return s;
+  double ss = 0.0;
+  for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / (s.n - 1));
+  s.ci95_halfwidth = student_t_975(s.n - 1) * s.stddev / std::sqrt(s.n);
+  return s;
+}
+
+}  // namespace postcard::sim

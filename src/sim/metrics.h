@@ -1,0 +1,26 @@
+// Statistics for the evaluation harness: sample mean, standard deviation
+// and Student-t 95% confidence intervals (the paper reports averages with
+// 95% CIs over 10 simulation runs).
+#pragma once
+
+#include <vector>
+
+namespace postcard::sim {
+
+struct Summary {
+  int n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;          // sample standard deviation (n-1)
+  double ci95_halfwidth = 0.0;  // t_{0.975, n-1} * stddev / sqrt(n)
+
+  double lower() const { return mean - ci95_halfwidth; }
+  double upper() const { return mean + ci95_halfwidth; }
+};
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom
+/// (exact table through df = 30, 1.96 beyond).
+double student_t_975(int df);
+
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace postcard::sim

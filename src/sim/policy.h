@@ -1,0 +1,46 @@
+// Abstract online scheduling policy.
+//
+// Both Postcard and the flow-based baseline implement this interface: at
+// every time slot the simulator hands the policy the batch K(t) of newly
+// released files; the policy routes/schedules them (possibly rejecting some
+// when the network cannot meet their deadlines) and updates its internal
+// charge state. Costs are read back through the 100-th percentile charge
+// state; the full per-slot traffic history remains available for ex-post
+// q-percentile accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "charging/charge_state.h"
+#include "net/file_request.h"
+
+namespace postcard::sim {
+
+struct ScheduleOutcome {
+  std::vector<int> accepted_ids;
+  std::vector<int> rejected_ids;
+  double rejected_volume = 0.0;  // GB that could not be scheduled
+  long lp_iterations = 0;        // summed over the LPs solved this slot
+  int lp_solves = 0;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Schedules the batch released at `slot`. Slots must be presented in
+  /// non-decreasing order.
+  virtual ScheduleOutcome schedule(int slot,
+                                   const std::vector<net::FileRequest>& files) = 0;
+
+  /// Current cost per time interval, sum_ij a_ij X_ij(t).
+  virtual double cost_per_interval() const = 0;
+
+  /// Charge state (per-link X_ij and full slot history).
+  virtual const charging::ChargeState& charge_state() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace postcard::sim

@@ -1,0 +1,33 @@
+#include "sim/simulator.h"
+
+#include <chrono>
+
+namespace postcard::sim {
+
+RunResult run_simulation(SchedulingPolicy& policy,
+                         const WorkloadGenerator& workload) {
+  RunResult result;
+  const auto start = std::chrono::steady_clock::now();
+  for (int slot = 0; slot < workload.num_slots(); ++slot) {
+    const std::vector<net::FileRequest> files = workload.batch(slot);
+    for (const net::FileRequest& f : files) result.total_volume += f.size;
+    const ScheduleOutcome outcome = policy.schedule(slot, files);
+    result.rejected_volume += outcome.rejected_volume;
+    result.rejected_files += static_cast<int>(outcome.rejected_ids.size());
+    result.lp_iterations += outcome.lp_iterations;
+    result.lp_solves += outcome.lp_solves;
+    result.cost_series.push_back(policy.cost_per_interval());
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+
+  if (!result.cost_series.empty()) {
+    result.final_cost_per_interval = result.cost_series.back();
+    double sum = 0.0;
+    for (double c : result.cost_series) sum += c;
+    result.mean_cost_per_interval = sum / result.cost_series.size();
+  }
+  return result;
+}
+
+}  // namespace postcard::sim

@@ -1,0 +1,115 @@
+#include "sim/workload.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace postcard::sim {
+
+namespace {
+/// SplitMix64: decorrelates (seed, stream) pairs into mt19937_64 seeds so
+/// batch(slot) is random-access reproducible.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+UniformWorkload::UniformWorkload(const WorkloadParams& params)
+    : params_(params), topology_(std::max(1, params.num_datacenters)) {
+  if (params.num_datacenters < 2) {
+    throw std::invalid_argument("workload needs at least two datacenters");
+  }
+  if (params.files_per_slot_min < 0 ||
+      params.files_per_slot_max < params.files_per_slot_min) {
+    throw std::invalid_argument("bad files-per-slot range");
+  }
+  if (params.deadline_min < 1 || params.deadline_max < params.deadline_min) {
+    throw std::invalid_argument("bad deadline range");
+  }
+  if (params.size_min <= 0.0 || params.size_max < params.size_min) {
+    throw std::invalid_argument("bad size range");
+  }
+  std::mt19937_64 rng(mix(params.seed));
+  std::uniform_real_distribution<double> cost(params.cost_min, params.cost_max);
+  topology_ = net::Topology::complete(
+      params.num_datacenters, params.link_capacity,
+      [&](int, int) { return cost(rng); });
+}
+
+int UniformWorkload::batch_size(int /*slot*/, std::uint64_t rng_draw) const {
+  const int span = params_.files_per_slot_max - params_.files_per_slot_min + 1;
+  return params_.files_per_slot_min + static_cast<int>(rng_draw % span);
+}
+
+int UniformWorkload::pick_source(double u) const {
+  return static_cast<int>(u * params_.num_datacenters) %
+         params_.num_datacenters;
+}
+
+std::vector<net::FileRequest> UniformWorkload::batch(int slot) const {
+  if (slot < 0) throw std::out_of_range("negative slot");
+  std::mt19937_64 rng(mix(params_.seed ^ mix(static_cast<std::uint64_t>(slot) + 1)));
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::uniform_real_distribution<double> size(params_.size_min, params_.size_max);
+  std::uniform_int_distribution<int> deadline(params_.deadline_min,
+                                              params_.deadline_max);
+
+  const int count = batch_size(slot, rng());
+  std::vector<net::FileRequest> files;
+  files.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    net::FileRequest f;
+    f.id = slot * 1000 + i;  // stable, unique across slots for < 1000 files
+    f.source = pick_source(unif(rng));
+    do {
+      f.destination =
+          static_cast<int>(unif(rng) * params_.num_datacenters) %
+          params_.num_datacenters;
+    } while (f.destination == f.source);
+    f.size = size(rng);
+    f.max_transfer_slots = deadline(rng);
+    f.release_slot = slot;
+    files.push_back(f);
+  }
+  return files;
+}
+
+DiurnalWorkload::DiurnalWorkload(const WorkloadParams& params, int period_slots,
+                                 double trough_factor)
+    : UniformWorkload(params), period_(period_slots), trough_(trough_factor) {
+  if (period_slots < 1) throw std::invalid_argument("bad diurnal period");
+  if (trough_factor < 0.0 || trough_factor > 1.0) {
+    throw std::invalid_argument("trough factor must be in [0, 1]");
+  }
+}
+
+int DiurnalWorkload::batch_size(int slot, std::uint64_t rng_draw) const {
+  const int base = UniformWorkload::batch_size(slot, rng_draw);
+  const double phase = 2.0 * 3.14159265358979323846 * (slot % period_) / period_;
+  const double intensity = trough_ + (1.0 - trough_) * 0.5 * (1.0 + std::sin(phase));
+  return std::max(0, static_cast<int>(std::lround(base * intensity)));
+}
+
+HotspotWorkload::HotspotWorkload(const WorkloadParams& params, double alpha)
+    : UniformWorkload(params) {
+  if (alpha < 0.0) throw std::invalid_argument("alpha must be non-negative");
+  cumulative_.resize(static_cast<std::size_t>(params.num_datacenters));
+  double total = 0.0;
+  for (int i = 0; i < params.num_datacenters; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cumulative_[i] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+int HotspotWorkload::pick_source(double u) const {
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u <= cumulative_[i]) return static_cast<int>(i);
+  }
+  return static_cast<int>(cumulative_.size()) - 1;
+}
+
+}  // namespace postcard::sim

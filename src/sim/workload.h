@@ -1,0 +1,97 @@
+// Workload generators.
+//
+// UniformWorkload reproduces the paper's evaluation setup (Sec. VII): a
+// complete graph of datacenters, per-link unit costs ~ U[cost_min, cost_max],
+// per slot a batch of U[files_min, files_max] files with sizes
+// U[size_min, size_max] GB, uniformly random distinct endpoints and
+// deadlines U[deadline_min, deadline_max] slots.
+//
+// DiurnalWorkload modulates the batch intensity with a sinusoidal day curve
+// (inter-datacenter traffic shows strong diurnal patterns, Sec. II-A);
+// HotspotWorkload skews sources toward a few "hot" datacenters (large
+// producers such as a primary region). Both reuse the uniform generator's
+// topology so results are comparable.
+//
+// Generation is deterministic and random-access: batch(slot) always returns
+// the same files for the same (seed, slot), so different policies can be
+// replayed against the identical workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/file_request.h"
+#include "net/topology.h"
+
+namespace postcard::sim {
+
+struct WorkloadParams {
+  int num_datacenters = 20;
+  double link_capacity = 100.0;  // GB per slot (t-bar)
+  double cost_min = 1.0;
+  double cost_max = 10.0;
+  int files_per_slot_min = 1;
+  int files_per_slot_max = 20;
+  double size_min = 10.0;   // GB
+  double size_max = 100.0;  // GB
+  int deadline_min = 1;     // slots
+  int deadline_max = 3;     // slots (max_k T_k of the figures)
+  int num_slots = 100;
+  std::uint64_t seed = 1;
+};
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+  virtual const net::Topology& topology() const = 0;
+  virtual std::vector<net::FileRequest> batch(int slot) const = 0;
+  virtual int num_slots() const = 0;
+};
+
+class UniformWorkload : public WorkloadGenerator {
+ public:
+  explicit UniformWorkload(const WorkloadParams& params);
+  const net::Topology& topology() const override { return topology_; }
+  std::vector<net::FileRequest> batch(int slot) const override;
+  int num_slots() const override { return params_.num_slots; }
+  const WorkloadParams& params() const { return params_; }
+
+ protected:
+  /// Number of files in `slot`'s batch; hook for intensity modulation.
+  virtual int batch_size(int slot, std::uint64_t rng_draw) const;
+  /// Source datacenter pick; hook for skew. `u` is uniform in [0,1).
+  virtual int pick_source(double u) const;
+
+  WorkloadParams params_;
+  net::Topology topology_;
+};
+
+/// Sinusoidal day curve: batch sizes scale between `trough_factor` and 1
+/// with period `period_slots`.
+class DiurnalWorkload : public UniformWorkload {
+ public:
+  DiurnalWorkload(const WorkloadParams& params, int period_slots = 24,
+                  double trough_factor = 0.2);
+
+ protected:
+  int batch_size(int slot, std::uint64_t rng_draw) const override;
+
+ private:
+  int period_;
+  double trough_;
+};
+
+/// Zipf-skewed sources: datacenter i is picked with weight 1/(i+1)^alpha.
+class HotspotWorkload : public UniformWorkload {
+ public:
+  HotspotWorkload(const WorkloadParams& params, double alpha = 1.0);
+
+ protected:
+  int pick_source(double u) const override;
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative weights
+};
+
+}  // namespace postcard::sim

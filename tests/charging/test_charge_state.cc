@@ -1,0 +1,74 @@
+#include "charging/charge_state.h"
+
+#include <gtest/gtest.h>
+
+namespace postcard::charging {
+namespace {
+
+net::Topology two_links() {
+  net::Topology t(2);
+  t.set_link(0, 1, 100.0, 3.0);
+  t.set_link(1, 0, 100.0, 5.0);
+  return t;
+}
+
+TEST(ChargeState, ChargedTracksMaxSlotVolume) {
+  ChargeState cs(1);
+  cs.commit(0, 0, 4.0);
+  EXPECT_DOUBLE_EQ(cs.charged(0), 4.0);
+  cs.commit(0, 1, 9.0);
+  EXPECT_DOUBLE_EQ(cs.charged(0), 9.0);
+  cs.commit(0, 2, 2.0);
+  EXPECT_DOUBLE_EQ(cs.charged(0), 9.0);  // lower later slots are free
+}
+
+TEST(ChargeState, AccumulationWithinASlotRaisesCharge) {
+  ChargeState cs(1);
+  cs.commit(0, 3, 4.0);
+  cs.commit(0, 3, 4.0);
+  EXPECT_DOUBLE_EQ(cs.committed(0, 3), 8.0);
+  EXPECT_DOUBLE_EQ(cs.charged(0), 8.0);
+}
+
+TEST(ChargeState, FreeHeadroomIsChargeMinusCommitted) {
+  ChargeState cs(1);
+  cs.commit(0, 0, 10.0);
+  cs.commit(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(cs.free_headroom(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cs.free_headroom(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(cs.free_headroom(0, 7), 10.0);  // untouched future slot
+}
+
+TEST(ChargeState, CostPerIntervalSumsChargedTimesUnitCost) {
+  const auto t = two_links();
+  ChargeState cs(t.num_links());
+  cs.commit(t.link_index(0, 1), 0, 10.0);  // cost 3 -> 30
+  cs.commit(t.link_index(1, 0), 0, 2.0);   // cost 5 -> 10
+  EXPECT_DOUBLE_EQ(cs.cost_per_interval(t), 40.0);
+}
+
+TEST(ChargeState, ZeroCommitIsANoop) {
+  ChargeState cs(1);
+  cs.commit(0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(cs.charged(0), 0.0);
+  EXPECT_EQ(cs.recorder().num_slots(), 0);
+}
+
+TEST(ChargeState, TopologyMismatchRejected) {
+  const auto t = two_links();
+  ChargeState cs(1);
+  EXPECT_THROW(cs.cost_per_interval(t), std::invalid_argument);
+}
+
+TEST(ChargeState, RecorderExposesHistoryForPercentileAccounting) {
+  ChargeState cs(1);
+  cs.commit(0, 0, 5.0);
+  cs.commit(0, 1, 10.0);
+  cs.commit(0, 2, 1.0);
+  // 100-th percentile agrees with charged(); lower percentiles are cheaper.
+  EXPECT_DOUBLE_EQ(cs.recorder().charged_volume(0, 100.0), cs.charged(0));
+  EXPECT_LE(cs.recorder().charged_volume(0, 67.0), cs.charged(0));
+}
+
+}  // namespace
+}  // namespace postcard::charging

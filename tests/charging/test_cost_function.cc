@@ -1,0 +1,55 @@
+#include "charging/cost_function.h"
+
+#include <gtest/gtest.h>
+
+namespace postcard::charging {
+namespace {
+
+TEST(CostFunction, LinearEvaluatesAsPriceTimesVolume) {
+  const auto f = CostFunction::linear(2.5);
+  EXPECT_TRUE(f.is_linear());
+  EXPECT_DOUBLE_EQ(f.evaluate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(4.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.marginal(100.0), 2.5);
+}
+
+TEST(CostFunction, NegativeVolumeClampsToZero) {
+  const auto f = CostFunction::linear(3.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(-5.0), 0.0);
+}
+
+TEST(CostFunction, PiecewiseVolumeDiscount) {
+  // 10/GB up to 100 GB, 8/GB up to 500 GB, 5/GB beyond.
+  const auto f = CostFunction::piecewise({{0.0, 10.0}, {100.0, 8.0}, {500.0, 5.0}});
+  EXPECT_FALSE(f.is_linear());
+  EXPECT_DOUBLE_EQ(f.evaluate(50.0), 500.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(100.0), 1000.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(200.0), 1000.0 + 800.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(600.0), 1000.0 + 3200.0 + 500.0);
+  EXPECT_DOUBLE_EQ(f.marginal(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.marginal(100.0), 8.0);
+  EXPECT_DOUBLE_EQ(f.marginal(1000.0), 5.0);
+}
+
+TEST(CostFunction, MonotoneNonDecreasing) {
+  const auto f = CostFunction::piecewise({{0.0, 3.0}, {10.0, 0.0}, {20.0, 1.0}});
+  double prev = -1.0;
+  for (double v = 0.0; v <= 40.0; v += 0.5) {
+    const double c = f.evaluate(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CostFunction, RejectsMalformedBreakpoints) {
+  EXPECT_THROW(CostFunction::piecewise({}), std::invalid_argument);
+  EXPECT_THROW(CostFunction::piecewise({{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(CostFunction::piecewise({{0.0, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(CostFunction::piecewise({{0.0, 1.0}, {0.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(CostFunction::piecewise({{0.0, 1.0}, {5.0, 2.0}, {3.0, 1.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace postcard::charging

@@ -1,0 +1,126 @@
+// The greedy store-and-forward heuristic: correct plans, sane admission,
+// and never better than the LP (it optimizes the same objective over the
+// same model, sequentially instead of jointly).
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/postcard.h"
+
+namespace postcard::core {
+namespace {
+
+net::FileRequest file(int id, int s, int d, double size, int deadline, int slot) {
+  return {id, s, d, size, deadline, slot};
+}
+
+net::Topology fig1_topology() {
+  net::Topology t(3);
+  t.set_link(1, 2, 1000.0, 10.0);
+  t.set_link(1, 0, 1000.0, 1.0);
+  t.set_link(0, 2, 1000.0, 3.0);
+  return t;
+}
+
+TEST(Greedy, RoutesViaCheapRelayOnFig1) {
+  GreedyScheduler greedy{fig1_topology()};
+  const auto outcome = greedy.schedule(0, {file(1, 1, 2, 6.0, 3, 0)});
+  ASSERT_EQ(outcome.accepted_ids.size(), 1u);
+  // The cheapest 1-GB path is D2->D1->D3 (cost 4 < 10 direct); chunking
+  // cannot spread as cleverly as the LP but must still beat direct-only.
+  EXPECT_LT(greedy.cost_per_interval(), 20.0 + 1e-9);
+  std::string err;
+  ASSERT_EQ(greedy.last_plans().size(), 1u);
+  EXPECT_TRUE(verify_plan(greedy.last_plans()[0], file(1, 1, 2, 6.0, 3, 0),
+                          fig1_topology(), 1e-6, &err))
+      << err;
+}
+
+TEST(Greedy, NeverBeatsTheLp) {
+  // Same batches through both; the LP jointly optimizes, greedy cannot win.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto topo = net::Topology::complete(
+        5, 25.0, [&](int i, int j) { return 1.0 + ((i * 3 + j + seed) % 9); });
+    GreedyScheduler greedy{net::Topology(topo)};
+    PostcardController lp{net::Topology(topo)};
+    std::vector<net::FileRequest> batch = {
+        file(1, 0, 4, 20.0, 3, 0), file(2, 1, 3, 15.0, 2, 0),
+        file(3, 2, 0, 10.0, 4, 0), file(4, 3, 1, 18.0, 3, 0)};
+    const auto go = greedy.schedule(0, batch);
+    const auto lo = lp.schedule(0, batch);
+    ASSERT_EQ(go.accepted_ids.size(), 4u) << "seed " << seed;
+    ASSERT_EQ(lo.accepted_ids.size(), 4u) << "seed " << seed;
+    EXPECT_GE(greedy.cost_per_interval(), lp.cost_per_interval() - 1e-4)
+        << "seed " << seed;
+  }
+}
+
+TEST(Greedy, ReusesPaidHeadroomForFree) {
+  net::Topology t(2);
+  t.set_link(0, 1, 1000.0, 5.0);
+  GreedyScheduler greedy{net::Topology(t)};
+  greedy.schedule(0, {file(1, 0, 1, 10.0, 1, 0)});
+  const double paid = greedy.cost_per_interval();
+  EXPECT_NEAR(paid, 50.0, 1e-9);
+  // 20 GB over 2 slots fits under the paid X = 10 exactly.
+  greedy.schedule(1, {file(2, 0, 1, 20.0, 2, 1)});
+  EXPECT_NEAR(greedy.cost_per_interval(), paid, 1e-9);
+}
+
+TEST(Greedy, SplitsAcrossSlotsWithStorageAtSource) {
+  net::Topology t(2);
+  t.set_link(0, 1, 6.0, 2.0);
+  GreedyScheduler greedy{net::Topology(t)};
+  const auto outcome = greedy.schedule(0, {file(1, 0, 1, 12.0, 2, 0)});
+  ASSERT_EQ(outcome.accepted_ids.size(), 1u);
+  // Capacity forces 6+6 over the two slots: X = 6, cost 12.
+  EXPECT_NEAR(greedy.charge_state().charged(0), 6.0, 1e-9);
+}
+
+TEST(Greedy, RejectsImpossibleFileWithoutSideEffects) {
+  net::Topology t(2);
+  t.set_link(0, 1, 5.0, 1.0);
+  GreedyScheduler greedy{net::Topology(t)};
+  const auto outcome = greedy.schedule(0, {file(9, 0, 1, 100.0, 2, 0)});
+  EXPECT_EQ(outcome.rejected_ids, std::vector<int>{9});
+  EXPECT_NEAR(outcome.rejected_volume, 100.0, 1e-9);
+  // Rollback: nothing was committed for the rejected file.
+  EXPECT_NEAR(greedy.cost_per_interval(), 0.0, 1e-12);
+  EXPECT_NEAR(greedy.charge_state().committed(0, 0), 0.0, 1e-12);
+}
+
+TEST(Greedy, UrgentFilesScheduledFirst) {
+  // One link, capacity 10. A T=1 file (needs slot 0 fully) plus a T=2 file.
+  // Urgency ordering must route the T=1 file first so both fit.
+  net::Topology t(2);
+  t.set_link(0, 1, 10.0, 1.0);
+  GreedyScheduler greedy{net::Topology(t)};
+  const auto outcome = greedy.schedule(
+      0, {file(1, 0, 1, 10.0, 2, 0), file(2, 0, 1, 10.0, 1, 0)});
+  EXPECT_EQ(outcome.accepted_ids.size(), 2u) << "urgent-first ordering failed";
+}
+
+TEST(Greedy, NoStorageOptionForbidsIntermediateHolding) {
+  // Path 0->1->2 with a 2-slot deadline and capacity that forces the file
+  // to stage at DC 1 for a slot; with storage disabled at intermediates the
+  // route must still work (hop per slot needs no holdover here), but a
+  // 3-slot deadline requiring a hold at DC 1 must fail over to... simply
+  // verify plans contain no intermediate storage transfers.
+  net::Topology t(3);
+  t.set_link(0, 1, 10.0, 1.0);
+  t.set_link(1, 2, 10.0, 1.0);
+  GreedyOptions opts;
+  opts.allow_storage = false;
+  GreedyScheduler greedy{net::Topology(t), opts};
+  const auto outcome = greedy.schedule(0, {file(1, 0, 2, 8.0, 3, 0)});
+  ASSERT_EQ(outcome.accepted_ids.size(), 1u);
+  for (const Transfer& tr : greedy.last_plans()[0].transfers) {
+    if (tr.storage()) {
+      EXPECT_TRUE(tr.from == 0 || tr.from == 2)
+          << "holdover at intermediate DC " << tr.from;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace postcard::core

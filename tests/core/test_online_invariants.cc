@@ -1,0 +1,113 @@
+// System-level invariants of the online controllers, checked over whole
+// simulated runs: physical capacity is never exceeded in any slot, the
+// charge state is exactly the running per-slot maximum, committed plans are
+// valid store-and-forward schedules, and accepted+rejected covers the batch.
+#include <gtest/gtest.h>
+
+#include "core/postcard.h"
+#include "flow/baseline.h"
+#include "sim/simulator.h"
+
+namespace postcard {
+namespace {
+
+struct OnlineCase {
+  double capacity;
+  int max_deadline;
+  std::uint64_t seed;
+};
+
+sim::WorkloadParams params_for(const OnlineCase& c) {
+  sim::WorkloadParams p;
+  p.num_datacenters = 5;
+  p.link_capacity = c.capacity;
+  p.files_per_slot_min = 1;
+  p.files_per_slot_max = 4;
+  p.size_min = 5.0;
+  p.size_max = 40.0;
+  p.deadline_min = 1;
+  p.deadline_max = c.max_deadline;
+  p.num_slots = 10;
+  p.seed = c.seed;
+  return p;
+}
+
+void check_capacity_and_charge(const sim::SchedulingPolicy& policy,
+                               const net::Topology& topology) {
+  const auto& cs = policy.charge_state();
+  const auto& rec = cs.recorder();
+  for (int l = 0; l < topology.num_links(); ++l) {
+    double max_slot = 0.0;
+    for (int s = 0; s < rec.num_slots() + 16; ++s) {
+      const double v = cs.committed(l, s);
+      EXPECT_LE(v, topology.link(l).capacity + 1e-5)
+          << policy.name() << " overcommits link " << l << " in slot " << s;
+      max_slot = std::max(max_slot, v);
+    }
+    EXPECT_NEAR(cs.charged(l), max_slot, 1e-6)
+        << policy.name() << " charge state drifted on link " << l;
+  }
+}
+
+class OnlineInvariantsTest : public ::testing::TestWithParam<OnlineCase> {};
+
+TEST_P(OnlineInvariantsTest, PostcardRespectsCapacityAndCharge) {
+  const sim::UniformWorkload w(params_for(GetParam()));
+  core::PostcardController policy{net::Topology(w.topology())};
+  sim::run_simulation(policy, w);
+  check_capacity_and_charge(policy, w.topology());
+}
+
+TEST_P(OnlineInvariantsTest, FlowBaselineRespectsCapacityAndCharge) {
+  const sim::UniformWorkload w(params_for(GetParam()));
+  flow::FlowBaseline policy{net::Topology(w.topology())};
+  sim::run_simulation(policy, w);
+  check_capacity_and_charge(policy, w.topology());
+}
+
+TEST_P(OnlineInvariantsTest, PostcardPlansVerifySlotBySlot) {
+  const sim::UniformWorkload w(params_for(GetParam()));
+  core::PostcardController policy{net::Topology(w.topology())};
+  for (int slot = 0; slot < w.num_slots(); ++slot) {
+    const auto files = w.batch(slot);
+    const auto outcome = policy.schedule(slot, files);
+    // Accepted + rejected partition the batch.
+    EXPECT_EQ(outcome.accepted_ids.size() + outcome.rejected_ids.size(),
+              files.size());
+    for (const core::FilePlan& plan : policy.last_plans()) {
+      const auto it =
+          std::find_if(files.begin(), files.end(), [&](const auto& f) {
+            return f.id == plan.file_id;
+          });
+      ASSERT_NE(it, files.end());
+      std::string err;
+      EXPECT_TRUE(core::verify_plan(plan, *it, policy.topology(), 1e-4, &err))
+          << "slot " << slot << " file " << plan.file_id << ": " << err;
+    }
+  }
+}
+
+TEST_P(OnlineInvariantsTest, CostSeriesMonotoneAndConsistent) {
+  const sim::UniformWorkload w(params_for(GetParam()));
+  core::PostcardController postcard{net::Topology(w.topology())};
+  const sim::RunResult r = sim::run_simulation(postcard, w);
+  for (std::size_t i = 1; i < r.cost_series.size(); ++i) {
+    EXPECT_GE(r.cost_series[i], r.cost_series[i - 1] - 1e-9);
+  }
+  EXPECT_NEAR(r.final_cost_per_interval,
+              postcard.charge_state().cost_per_interval(w.topology()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, OnlineInvariantsTest,
+    ::testing::Values(OnlineCase{100.0, 3, 11}, OnlineCase{100.0, 8, 12},
+                      OnlineCase{30.0, 3, 13}, OnlineCase{30.0, 8, 14},
+                      OnlineCase{15.0, 5, 15}),
+    [](const ::testing::TestParamInfo<OnlineCase>& info) {
+      return "c" + std::to_string(static_cast<int>(info.param.capacity)) + "T" +
+             std::to_string(info.param.max_deadline) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace postcard

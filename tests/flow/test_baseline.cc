@@ -1,0 +1,133 @@
+#include "flow/baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace postcard::flow {
+namespace {
+
+/// 3 DCs: expensive direct 0->2, cheap relay 0->1->2.
+net::Topology relay_topology(double capacity) {
+  net::Topology t(3);
+  t.set_link(0, 2, capacity, 10.0);
+  t.set_link(0, 1, capacity, 1.0);
+  t.set_link(1, 2, capacity, 1.0);
+  return t;
+}
+
+net::FileRequest file(int id, int s, int d, double size, int deadline, int slot) {
+  return {id, s, d, size, deadline, slot};
+}
+
+TEST(FlowBaseline, RoutesViaCheapRelay) {
+  FlowBaseline policy(relay_topology(100.0));
+  const auto outcome = policy.schedule(0, {file(1, 0, 2, 10.0, 2, 0)});
+  EXPECT_EQ(outcome.accepted_ids, std::vector<int>{1});
+  EXPECT_TRUE(outcome.rejected_ids.empty());
+  // Rate 5 on 0->1 and 1->2: X = 5 each, cost 5*1 + 5*1 = 10.
+  EXPECT_NEAR(policy.cost_per_interval(), 10.0, 1e-6);
+}
+
+TEST(FlowBaseline, FlowOccupiesItsWholeLifetime) {
+  FlowBaseline policy(relay_topology(100.0));
+  policy.schedule(0, {file(1, 0, 2, 12.0, 3, 0)});  // rate 4, slots 0..2
+  const auto& cs = policy.charge_state();
+  const net::Topology t = relay_topology(100.0);
+  const int cheap1 = t.link_index(0, 1);
+  const int cheap2 = t.link_index(1, 2);
+  for (int slot = 0; slot < 3; ++slot) {
+    EXPECT_NEAR(cs.committed(cheap1, slot), 4.0, 1e-6) << "slot " << slot;
+    EXPECT_NEAR(cs.committed(cheap2, slot), 4.0, 1e-6) << "slot " << slot;
+  }
+  EXPECT_NEAR(cs.committed(cheap1, 3), 0.0, 1e-9);
+}
+
+TEST(FlowBaseline, ReusesPaidCapacityForFree) {
+  FlowBaseline policy(relay_topology(100.0));
+  policy.schedule(0, {file(1, 0, 2, 10.0, 2, 0)});
+  const double cost_after_first = policy.cost_per_interval();
+  EXPECT_NEAR(cost_after_first, 10.0, 1e-6);
+  // Identical file later: the paid X = 5 on both cheap links covers the
+  // whole rate, so stage 1 routes it at lambda = 1 and cost stays flat.
+  const auto outcome = policy.schedule(2, {file(2, 0, 2, 10.0, 2, 2)});
+  EXPECT_EQ(outcome.accepted_ids, std::vector<int>{2});
+  EXPECT_NEAR(policy.cost_per_interval(), cost_after_first, 1e-6);
+}
+
+TEST(FlowBaseline, RejectsWhenNoCapacityFits) {
+  // Deadline 1 slot -> rate 10, but every path has capacity 4.
+  FlowBaseline policy(relay_topology(4.0));
+  const auto outcome = policy.schedule(0, {file(7, 0, 2, 10.0, 1, 0)});
+  EXPECT_TRUE(outcome.accepted_ids.empty());
+  EXPECT_EQ(outcome.rejected_ids, std::vector<int>{7});
+  EXPECT_NEAR(outcome.rejected_volume, 10.0, 1e-9);
+  EXPECT_NEAR(policy.cost_per_interval(), 0.0, 1e-9);
+}
+
+TEST(FlowBaseline, SplitsAcrossParallelPaths) {
+  // Both the direct link and the relay are needed: capacity 3 each, rate 5.
+  FlowBaseline policy(relay_topology(3.0));
+  const auto outcome = policy.schedule(0, {file(1, 0, 2, 10.0, 2, 0)});
+  ASSERT_EQ(outcome.accepted_ids.size(), 1u);
+  const auto& a = policy.last_assignments()[0];
+  EXPECT_NEAR(a.rate, 5.0, 1e-9);
+  // Conservation: net rate out of the source equals r_k.
+  const net::Topology t = relay_topology(3.0);
+  double out = 0.0;
+  for (const auto& [link, rate] : a.link_rates) {
+    if (t.link(link).from == 0) out += rate;
+    if (t.link(link).to == 0) out -= rate;
+  }
+  EXPECT_NEAR(out, 5.0, 1e-6);
+  // No link above capacity.
+  for (const auto& [link, rate] : a.link_rates) {
+    EXPECT_LE(rate, 3.0 + 1e-6);
+  }
+}
+
+TEST(FlowBaseline, DropsHeaviestFirstWhenOverloaded) {
+  // Two files, capacity only fits the lighter one.
+  net::Topology t(2);
+  t.set_link(0, 1, 6.0, 1.0);
+  FlowBaseline policy(t);
+  const auto outcome = policy.schedule(0, {file(1, 0, 1, 10.0, 1, 0),    // rate 10
+                                           file(2, 0, 1, 4.0, 1, 0)});  // rate 4
+  EXPECT_EQ(outcome.accepted_ids, std::vector<int>{2});
+  EXPECT_EQ(outcome.rejected_ids, std::vector<int>{1});
+}
+
+TEST(FlowBaseline, ExactModeNeverCostsMoreThanTwoStage) {
+  for (double cap : {6.0, 12.0, 100.0}) {
+    FlowBaselineOptions two_stage, exact;
+    two_stage.two_stage = true;
+    exact.two_stage = false;
+    FlowBaseline p2(relay_topology(cap), two_stage);
+    FlowBaseline p1(relay_topology(cap), exact);
+    const std::vector<net::FileRequest> batch0 = {file(1, 0, 2, 10.0, 2, 0),
+                                                  file(2, 1, 2, 6.0, 2, 0)};
+    const std::vector<net::FileRequest> batch1 = {file(3, 0, 2, 8.0, 2, 1)};
+    p2.schedule(0, batch0);
+    p1.schedule(0, batch0);
+    p2.schedule(1, batch1);
+    p1.schedule(1, batch1);
+    EXPECT_LE(p1.cost_per_interval(), p2.cost_per_interval() + 1e-6)
+        << "capacity " << cap;
+  }
+}
+
+TEST(FlowBaseline, EmptyBatchIsANoop) {
+  FlowBaseline policy(relay_topology(10.0));
+  const auto outcome = policy.schedule(0, {});
+  EXPECT_TRUE(outcome.accepted_ids.empty());
+  EXPECT_EQ(outcome.lp_solves, 0);
+  EXPECT_NEAR(policy.cost_per_interval(), 0.0, 1e-12);
+}
+
+TEST(FlowBaseline, NameReflectsMode) {
+  FlowBaselineOptions exact;
+  exact.two_stage = false;
+  EXPECT_EQ(FlowBaseline(relay_topology(1.0)).name(), "flow-based (two-stage)");
+  EXPECT_EQ(FlowBaseline(relay_topology(1.0), exact).name(), "flow-based (exact)");
+}
+
+}  // namespace
+}  // namespace postcard::flow

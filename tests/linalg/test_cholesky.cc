@@ -1,0 +1,150 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace postcard::linalg {
+namespace {
+
+// Builds a symmetric positive definite matrix A = M M^T + n*I from a random
+// sparse M, returned with both triangles stored.
+SparseMatrix random_spd(int n, std::mt19937& rng, double density) {
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (unif(rng) < density) m[i][j] = val(rng);
+    }
+  }
+  std::vector<Triplet> ts;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = (i == j) ? static_cast<double>(n) : 0.0;
+      for (int k = 0; k < n; ++k) s += m[i][k] * m[j][k];
+      if (s != 0.0) ts.push_back({i, j, s});
+    }
+  }
+  return SparseMatrix::from_triplets(n, n, ts);
+}
+
+double residual(const SparseMatrix& a, const Vector& x, const Vector& rhs) {
+  Vector ax;
+  a.multiply(x, ax);
+  double r = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) r = std::max(r, std::abs(ax[i] - rhs[i]));
+  return r;
+}
+
+TEST(RcmOrdering, IsAPermutation) {
+  std::mt19937 rng(5);
+  const auto a = random_spd(25, rng, 0.1);
+  const auto perm = rcm_ordering(a);
+  ASSERT_EQ(perm.size(), 25u);
+  std::vector<char> seen(25, 0);
+  for (Index p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 25);
+    EXPECT_FALSE(seen[p]) << "duplicate label " << p;
+    seen[p] = 1;
+  }
+}
+
+TEST(RcmOrdering, HandlesDisconnectedComponents) {
+  // Two disjoint 2-cliques plus an isolated node.
+  const auto a = SparseMatrix::from_triplets(
+      5, 5,
+      {{0, 0, 2.0}, {1, 1, 2.0}, {0, 1, 1.0}, {1, 0, 1.0},
+       {2, 2, 2.0}, {3, 3, 2.0}, {2, 3, 1.0}, {3, 2, 1.0},
+       {4, 4, 2.0}});
+  const auto perm = rcm_ordering(a);
+  std::vector<char> seen(5, 0);
+  for (Index p : perm) seen[p] = 1;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(seen[i]);
+}
+
+TEST(LdlSolver, SolvesDiagonal) {
+  const auto a = SparseMatrix::from_triplets(
+      3, 3, {{0, 0, 2.0}, {1, 1, 4.0}, {2, 2, 8.0}});
+  LdlSolver ldl;
+  ldl.analyze(a);
+  EXPECT_EQ(ldl.factorize(a), 0);
+  Vector x = {2.0, 4.0, 8.0};
+  ldl.solve(x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[2], 1.0, 1e-12);
+}
+
+TEST(LdlSolver, SolvesSmallDenseSpd) {
+  // [[4,1,0],[1,3,1],[0,1,2]]
+  const auto a = SparseMatrix::from_triplets(
+      3, 3,
+      {{0, 0, 4.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 3.0},
+       {1, 2, 1.0}, {2, 1, 1.0}, {2, 2, 2.0}});
+  LdlSolver ldl;
+  ldl.analyze(a);
+  EXPECT_EQ(ldl.factorize(a), 0);
+  Vector rhs = {1.0, 2.0, 3.0};
+  Vector x = rhs;
+  ldl.solve(x);
+  EXPECT_LT(residual(a, x, rhs), 1e-12);
+}
+
+TEST(LdlSolver, RandomSpdMatrices) {
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 10 + 7 * trial;
+    const auto a = random_spd(n, rng, 0.15);
+    LdlSolver ldl;
+    ldl.analyze(a);
+    EXPECT_EQ(ldl.factorize(a), 0) << "trial " << trial;
+    Vector rhs(static_cast<std::size_t>(n));
+    for (double& v : rhs) v = val(rng);
+    Vector x = rhs;
+    ldl.solve(x);
+    EXPECT_LT(residual(a, x, rhs), 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(LdlSolver, RefactorizeWithNewValuesSamePattern) {
+  std::mt19937 rng(17);
+  const auto a = random_spd(20, rng, 0.2);
+  LdlSolver ldl;
+  ldl.analyze(a);
+  ASSERT_EQ(ldl.factorize(a), 0);
+
+  // Scale all values by 3: same pattern, new numbers.
+  std::vector<double> scaled(a.values());
+  for (double& v : scaled) v *= 3.0;
+  const auto a3 = SparseMatrix::from_csc(
+      a.rows(), a.cols(), std::vector<Index>(a.col_ptr()),
+      std::vector<Index>(a.row_idx()), scaled);
+  ASSERT_EQ(ldl.factorize(a3), 0);
+  Vector rhs(20, 1.0);
+  Vector x = rhs;
+  ldl.solve(x);
+  EXPECT_LT(residual(a3, x, rhs), 1e-9);
+}
+
+TEST(LdlSolver, RegularizesIndefiniteDiagonal) {
+  // Zero diagonal block triggers the regularization floor rather than a crash.
+  const auto a = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {1, 1, 0.0}});
+  LdlSolver ldl;
+  ldl.analyze(a);
+  EXPECT_GE(ldl.factorize(a), 1);
+}
+
+TEST(LdlSolver, RejectsDimensionMismatch) {
+  const auto a = SparseMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  const auto b = SparseMatrix::from_triplets(3, 3, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  LdlSolver ldl;
+  ldl.analyze(a);
+  EXPECT_THROW(ldl.factorize(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace postcard::linalg

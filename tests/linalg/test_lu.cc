@@ -1,0 +1,192 @@
+#include "linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace postcard::linalg {
+namespace {
+
+// Dense reference: residual ||B x - b||_inf after ftran.
+double ftran_residual(const SparseMatrix& b, const Vector& x, const Vector& rhs) {
+  Vector bx;
+  b.multiply(x, bx);
+  double r = 0.0;
+  for (std::size_t i = 0; i < bx.size(); ++i) r = std::max(r, std::abs(bx[i] - rhs[i]));
+  return r;
+}
+
+double btran_residual(const SparseMatrix& b, const Vector& x, const Vector& rhs) {
+  Vector btx;
+  b.multiply_transpose(x, btx);
+  double r = 0.0;
+  for (std::size_t i = 0; i < btx.size(); ++i) r = std::max(r, std::abs(btx[i] - rhs[i]));
+  return r;
+}
+
+SparseMatrix random_nonsingular(int n, std::mt19937& rng, double density) {
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::vector<Triplet> ts;
+  for (Index i = 0; i < n; ++i) {
+    // Strong diagonal keeps the matrix comfortably nonsingular.
+    ts.push_back({i, i, 4.0 + std::abs(val(rng))});
+    for (Index j = 0; j < n; ++j) {
+      if (i != j && unif(rng) < density) ts.push_back({i, j, val(rng)});
+    }
+  }
+  return SparseMatrix::from_triplets(n, n, ts);
+}
+
+TEST(LuFactorization, IdentitySolves) {
+  const auto eye = SparseMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  LuFactorization lu;
+  ASSERT_EQ(lu.factorize(eye), FactorStatus::kOk);
+  Vector x = {1.0, -2.0, 3.0};
+  lu.ftran(x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+  lu.btran(x);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(LuFactorization, NegatedIdentity) {
+  const auto b = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, -1.0}, {1, 1, -1.0}});
+  LuFactorization lu;
+  ASSERT_EQ(lu.factorize(b), FactorStatus::kOk);
+  Vector x = {2.0, -4.0};
+  lu.ftran(x);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(LuFactorization, DetectsSingular) {
+  const auto b = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}});  // second row empty
+  LuFactorization lu;
+  EXPECT_EQ(lu.factorize(b), FactorStatus::kSingular);
+}
+
+TEST(LuFactorization, DetectsNumericallySingular) {
+  // Two identical columns.
+  const auto b = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {1, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}});
+  LuFactorization lu;
+  EXPECT_EQ(lu.factorize(b), FactorStatus::kSingular);
+}
+
+TEST(LuFactorization, SolvesPermutationMatrix) {
+  // Pure row permutation exercises pivoting bookkeeping.
+  const auto b = SparseMatrix::from_triplets(
+      3, 3, {{1, 0, 1.0}, {2, 1, 1.0}, {0, 2, 1.0}});
+  LuFactorization lu;
+  ASSERT_EQ(lu.factorize(b), FactorStatus::kOk);
+  Vector rhs = {5.0, 6.0, 7.0};
+  Vector x = rhs;
+  lu.ftran(x);
+  EXPECT_LT(ftran_residual(b, x, rhs), 1e-12);
+  Vector y = rhs;
+  lu.btran(y);
+  EXPECT_LT(btran_residual(b, y, rhs), 1e-12);
+}
+
+TEST(LuFactorization, RandomMatricesFtranBtran) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 5 + trial * 3;
+    const auto b = random_nonsingular(n, rng, 0.2);
+    LuFactorization lu;
+    ASSERT_EQ(lu.factorize(b), FactorStatus::kOk) << "trial " << trial;
+    Vector rhs(static_cast<std::size_t>(n));
+    for (double& v : rhs) v = val(rng);
+    Vector x = rhs;
+    lu.ftran(x);
+    EXPECT_LT(ftran_residual(b, x, rhs), 1e-9) << "trial " << trial;
+    Vector y = rhs;
+    lu.btran(y);
+    EXPECT_LT(btran_residual(b, y, rhs), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LuFactorization, EtaUpdateMatchesRefactorization) {
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  const int n = 20;
+  auto b = random_nonsingular(n, rng, 0.3);
+  LuFactorization lu;
+  ASSERT_EQ(lu.factorize(b), FactorStatus::kOk);
+
+  // Replace a handful of columns one at a time via eta updates, mirroring the
+  // replacement in a dense copy of B, and check FTRAN/BTRAN stay accurate.
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  for (Index j = 0; j < n; ++j) {
+    for (Index p = b.col_begin(j); p < b.col_end(j); ++p) {
+      dense[b.row_idx()[p]][j] = b.values()[p];
+    }
+  }
+
+  for (int step = 0; step < 8; ++step) {
+    const Index pos = (3 * step + 1) % n;
+    // New column: random with strong weight on `pos` to keep B nonsingular.
+    Vector col(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      col[i] = (i == pos) ? 5.0 + std::abs(val(rng)) : (val(rng) > 0.6 ? val(rng) : 0.0);
+    }
+    Vector w = col;
+    lu.ftran(w);
+    ASSERT_TRUE(lu.update(w, pos));
+    for (int i = 0; i < n; ++i) dense[i][pos] = col[i];
+
+    // Rebuild the updated B for the residual check.
+    std::vector<Triplet> ts;
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        if (dense[i][j] != 0.0) ts.push_back({i, j, dense[i][j]});
+      }
+    }
+    const auto b_now = SparseMatrix::from_triplets(n, n, ts);
+    Vector rhs(static_cast<std::size_t>(n));
+    for (double& v : rhs) v = val(rng);
+    Vector x = rhs;
+    lu.ftran(x);
+    EXPECT_LT(ftran_residual(b_now, x, rhs), 1e-8) << "step " << step;
+    Vector y = rhs;
+    lu.btran(y);
+    EXPECT_LT(btran_residual(b_now, y, rhs), 1e-8) << "step " << step;
+  }
+  EXPECT_EQ(lu.updates(), 8);
+}
+
+TEST(LuFactorization, UpdateRejectsTinyPivot) {
+  const auto eye = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  LuFactorization lu;
+  ASSERT_EQ(lu.factorize(eye), FactorStatus::kOk);
+  Vector w = {1e-12, 1.0};  // pivot at position 0 far below tolerance
+  EXPECT_FALSE(lu.update(w, 0));
+  EXPECT_EQ(lu.updates(), 0);
+}
+
+TEST(LuFactorization, ShouldRefactorizeAfterBudget) {
+  LuFactorization::Options opts;
+  opts.max_updates = 2;
+  const auto eye = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  LuFactorization lu(opts);
+  ASSERT_EQ(lu.factorize(eye), FactorStatus::kOk);
+  EXPECT_FALSE(lu.should_refactorize());
+  Vector w = {1.0, 0.5};
+  ASSERT_TRUE(lu.update(w, 0));
+  EXPECT_FALSE(lu.should_refactorize());
+  ASSERT_TRUE(lu.update(w, 0));
+  EXPECT_TRUE(lu.should_refactorize());
+  ASSERT_EQ(lu.factorize(eye), FactorStatus::kOk);
+  EXPECT_EQ(lu.updates(), 0);
+}
+
+}  // namespace
+}  // namespace postcard::linalg

@@ -1,0 +1,117 @@
+#include "lp/ipm.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/solver.h"
+
+namespace postcard::lp {
+namespace {
+
+Solution run_ipm(const LpModel& m) {
+  SolverOptions opts;
+  opts.method = Method::kInteriorPoint;
+  return solve(m, opts);
+}
+
+TEST(InteriorPoint, ClassicTwoVariableLp) {
+  LpModel m;
+  const int x = m.add_variable(0.0, kInfinity, -3.0);
+  const int y = m.add_variable(0.0, kInfinity, -5.0);
+  int r1 = m.add_constraint(-kInfinity, 4.0);
+  m.add_coefficient(r1, x, 1.0);
+  int r2 = m.add_constraint(-kInfinity, 12.0);
+  m.add_coefficient(r2, y, 2.0);
+  int r3 = m.add_constraint(-kInfinity, 18.0);
+  m.add_coefficient(r3, x, 3.0);
+  m.add_coefficient(r3, y, 2.0);
+
+  const auto s = run_ipm(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-5);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-4);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-4);
+}
+
+TEST(InteriorPoint, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 10, x,y >= 0.
+  LpModel m;
+  const int x = m.add_variable(0.0, kInfinity, 1.0);
+  const int y = m.add_variable(0.0, kInfinity, 2.0);
+  const int r = m.add_constraint(10.0, 10.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  const auto s = run_ipm(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-5);
+  EXPECT_NEAR(s.x[x], 10.0, 1e-4);
+}
+
+TEST(InteriorPoint, BoxBoundsBothSides) {
+  // min -x - 2y, x in [0,3], y in [1,2], x + y <= 4 => x=2,y=2.
+  LpModel m;
+  const int x = m.add_variable(0.0, 3.0, -1.0);
+  const int y = m.add_variable(1.0, 2.0, -2.0);
+  const int r = m.add_constraint(-kInfinity, 4.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  const auto s = run_ipm(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -6.0, 1e-5);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-4);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-4);
+}
+
+TEST(InteriorPoint, TransportationProblem) {
+  LpModel m;
+  const double cost[2][3] = {{2, 4, 5}, {3, 1, 7}};
+  const double cap[2] = {20, 30};
+  const double dem[3] = {10, 25, 15};
+  int v[2][3];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      v[i][j] = m.add_variable(0.0, kInfinity, cost[i][j]);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    const int r = m.add_constraint(-kInfinity, cap[i]);
+    for (int j = 0; j < 3; ++j) m.add_coefficient(r, v[i][j], 1.0);
+  }
+  for (int j = 0; j < 3; ++j) {
+    const int r = m.add_constraint(dem[j], dem[j]);
+    for (int i = 0; i < 2; ++i) m.add_coefficient(r, v[i][j], 1.0);
+  }
+  const auto s = run_ipm(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 125.0, 1e-4);
+  EXPECT_LT(m.max_violation(s.x), 1e-5);
+}
+
+TEST(InteriorPoint, AgreesWithSimplexOnRangedRows) {
+  LpModel m;
+  const int x = m.add_variable(0.0, 10.0, 1.0);
+  const int y = m.add_variable(0.0, 10.0, 2.5);
+  const int r = m.add_constraint(2.0, 6.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  const auto ipm = run_ipm(m);
+  const auto spx = solve(m);
+  ASSERT_EQ(ipm.status, SolveStatus::kOptimal);
+  ASSERT_EQ(spx.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(ipm.objective, spx.objective, 1e-5);
+}
+
+TEST(InteriorPoint, FixedVariableSurvivesViaPresolve) {
+  LpModel m;
+  const int x = m.add_variable(2.0, 2.0, 0.0);
+  const int y = m.add_variable(0.0, kInfinity, 1.0);
+  const int r = m.add_constraint(0.0, kInfinity);  // y >= x
+  m.add_coefficient(r, y, 1.0);
+  m.add_coefficient(r, x, -1.0);
+  const auto s = run_ipm(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace postcard::lp

@@ -1,0 +1,110 @@
+// Property-based cross-checks: random feasible LPs solved by both the
+// simplex and the interior-point method must agree on the optimal objective,
+// and every reported optimum must be primal feasible.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lp/solver.h"
+
+namespace postcard::lp {
+namespace {
+
+struct RandomLpParams {
+  int rows;
+  int cols;
+  double density;
+  unsigned seed;
+};
+
+// Generates a random LP that is feasible by construction: bounds are placed
+// around a known interior point x0 and row bounds bracket A x0.
+LpModel random_feasible_lp(const RandomLpParams& p) {
+  std::mt19937 rng(p.seed);
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::uniform_real_distribution<double> width(0.5, 5.0);
+
+  LpModel m;
+  std::vector<double> x0(static_cast<std::size_t>(p.cols));
+  for (int j = 0; j < p.cols; ++j) {
+    x0[j] = val(rng);
+    const double lo = x0[j] - width(rng);
+    const double hi = x0[j] + width(rng);
+    m.add_variable(lo, hi, val(rng));
+  }
+  for (int i = 0; i < p.rows; ++i) {
+    std::vector<std::pair<int, double>> row;
+    double activity = 0.0;
+    for (int j = 0; j < p.cols; ++j) {
+      if (unif(rng) < p.density) {
+        const double a = val(rng);
+        if (a != 0.0) {
+          row.emplace_back(j, a);
+          activity += a * x0[j];
+        }
+      }
+    }
+    const int kind = static_cast<int>(unif(rng) * 3.0);
+    int r;
+    if (kind == 0) {
+      r = m.add_constraint(activity - width(rng), kInfinity);
+    } else if (kind == 1) {
+      r = m.add_constraint(-kInfinity, activity + width(rng));
+    } else {
+      r = m.add_constraint(activity - width(rng), activity + width(rng));
+    }
+    for (const auto& [j, a] : row) m.add_coefficient(r, j, a);
+  }
+  return m;
+}
+
+class RandomLpTest : public ::testing::TestWithParam<RandomLpParams> {};
+
+TEST_P(RandomLpTest, SimplexFindsFeasibleOptimum) {
+  const LpModel m = random_feasible_lp(GetParam());
+  const auto s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_LT(m.max_violation(s.x), 1e-6);
+}
+
+TEST_P(RandomLpTest, SimplexAndIpmAgree) {
+  const LpModel m = random_feasible_lp(GetParam());
+  const auto spx = solve(m);
+  SolverOptions iopts;
+  iopts.method = Method::kInteriorPoint;
+  const auto ipm = solve(m, iopts);
+  ASSERT_EQ(spx.status, SolveStatus::kOptimal);
+  ASSERT_EQ(ipm.status, SolveStatus::kOptimal);
+  const double scale = 1.0 + std::abs(spx.objective);
+  EXPECT_LT(std::abs(spx.objective - ipm.objective) / scale, 1e-4);
+  // IPM objective can only be >= the simplex optimum (both minimize).
+  EXPECT_GT(ipm.objective - spx.objective, -1e-4 * scale);
+}
+
+TEST_P(RandomLpTest, PresolveDoesNotChangeOptimum) {
+  const LpModel m = random_feasible_lp(GetParam());
+  SolverOptions with, without;
+  with.presolve = true;
+  without.presolve = false;
+  const auto a = solve(m, with);
+  const auto b = solve(m, without);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-6 * (1.0 + std::abs(a.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomLpTest,
+    ::testing::Values(RandomLpParams{4, 6, 0.6, 1}, RandomLpParams{8, 12, 0.5, 2},
+                      RandomLpParams{15, 25, 0.3, 3}, RandomLpParams{25, 40, 0.2, 4},
+                      RandomLpParams{40, 60, 0.15, 5}, RandomLpParams{10, 10, 0.8, 6},
+                      RandomLpParams{30, 20, 0.3, 7}, RandomLpParams{50, 80, 0.1, 8}),
+    [](const ::testing::TestParamInfo<RandomLpParams>& info) {
+      return "r" + std::to_string(info.param.rows) + "c" +
+             std::to_string(info.param.cols) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace postcard::lp

@@ -1,0 +1,88 @@
+#include "lp/model.h"
+
+#include <gtest/gtest.h>
+
+namespace postcard::lp {
+namespace {
+
+TEST(LpModel, BuildsVariablesAndConstraints) {
+  LpModel m;
+  const int x = m.add_variable(0.0, 10.0, 1.5, "x");
+  const int y = m.add_variable(-kInfinity, kInfinity, -2.0, "y");
+  const int r = m.add_constraint(1.0, 1.0, "balance");
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, -1.0);
+
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_EQ(m.num_constraints(), 1);
+  EXPECT_EQ(m.num_entries(), 2);
+  EXPECT_EQ(m.variable_name(x), "x");
+  EXPECT_EQ(m.constraint_name(r), "balance");
+  EXPECT_DOUBLE_EQ(m.objective()[y], -2.0);
+}
+
+TEST(LpModel, RejectsCrossedBounds) {
+  LpModel m;
+  EXPECT_THROW(m.add_variable(1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(m.add_constraint(5.0, 2.0), std::invalid_argument);
+}
+
+TEST(LpModel, RejectsOutOfRangeCoefficients) {
+  LpModel m;
+  m.add_variable(0.0, 1.0, 0.0);
+  m.add_constraint(0.0, 1.0);
+  EXPECT_THROW(m.add_coefficient(1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(m.add_coefficient(0, 1, 1.0), std::out_of_range);
+}
+
+TEST(LpModel, IgnoresZeroCoefficients) {
+  LpModel m;
+  m.add_variable(0.0, 1.0, 0.0);
+  m.add_constraint(0.0, 1.0);
+  m.add_coefficient(0, 0, 0.0);
+  EXPECT_EQ(m.num_entries(), 0);
+}
+
+TEST(LpModel, MatrixAccumulatesRepeatedCoefficients) {
+  LpModel m;
+  m.add_variable(0.0, 1.0, 0.0);
+  m.add_constraint(0.0, 1.0);
+  m.add_coefficient(0, 0, 2.0);
+  m.add_coefficient(0, 0, 3.0);
+  const auto a = m.build_matrix();
+  EXPECT_EQ(a.nonzeros(), 1);
+  EXPECT_DOUBLE_EQ(a.coeff(0, 0), 5.0);
+}
+
+TEST(LpModel, ObjectiveValueAndViolation) {
+  LpModel m;
+  m.add_variable(0.0, 4.0, 2.0);
+  m.add_variable(0.0, 4.0, -1.0);
+  const int r = m.add_constraint(-kInfinity, 5.0);
+  m.add_coefficient(r, 0, 1.0);
+  m.add_coefficient(r, 1, 1.0);
+
+  EXPECT_DOUBLE_EQ(m.objective_value({1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({1.0, 2.0}), 0.0);
+  // Row violated by 1, upper bound violated by 1.
+  EXPECT_DOUBLE_EQ(m.max_violation({5.0, 1.0}), 1.0);
+  // Lower bound violated by 2.
+  EXPECT_DOUBLE_EQ(m.max_violation({-2.0, 0.0}), 2.0);
+}
+
+TEST(LpModel, BoundSetters) {
+  LpModel m;
+  m.add_variable(0.0, 1.0, 0.0);
+  m.add_constraint(0.0, 1.0);
+  m.set_variable_bounds(0, -1.0, 2.0);
+  m.set_constraint_bounds(0, 0.5, 0.5);
+  m.set_objective(0, 9.0);
+  EXPECT_DOUBLE_EQ(m.col_lower()[0], -1.0);
+  EXPECT_DOUBLE_EQ(m.col_upper()[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.row_lower()[0], 0.5);
+  EXPECT_DOUBLE_EQ(m.objective()[0], 9.0);
+  EXPECT_THROW(m.set_variable_bounds(0, 3.0, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace postcard::lp

@@ -1,0 +1,159 @@
+// MPS round-trips: write_mps(read_mps(x)) must preserve the optimum, and
+// hand-written MPS fixtures must parse into the expected model.
+#include "lp/mps.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lp/solver.h"
+
+namespace postcard::lp {
+namespace {
+
+LpModel sample_model() {
+  // min -3x - 5y + z, with a ranged row, an equality and mixed bounds.
+  LpModel m;
+  const int x = m.add_variable(0.0, 4.0, -3.0);
+  const int y = m.add_variable(0.0, kInfinity, -5.0);
+  const int z = m.add_variable(-kInfinity, kInfinity, 1.0);
+  const int w = m.add_variable(2.5, 2.5, 0.0);  // fixed
+  int r1 = m.add_constraint(-kInfinity, 12.0);
+  m.add_coefficient(r1, y, 2.0);
+  int r2 = m.add_constraint(2.0, 6.0);  // ranged
+  m.add_coefficient(r2, x, 1.0);
+  m.add_coefficient(r2, y, 1.0);
+  int r3 = m.add_constraint(3.0, 3.0);  // equality
+  m.add_coefficient(r3, z, 1.0);
+  m.add_coefficient(r3, w, 2.0);
+  int r4 = m.add_constraint(1.0, kInfinity);  // >=
+  m.add_coefficient(r4, x, 1.0);
+  return m;
+}
+
+TEST(Mps, RoundTripPreservesOptimum) {
+  const LpModel original = sample_model();
+  const Solution a = solve(original);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+
+  std::stringstream buffer;
+  write_mps(original, buffer);
+  const LpModel reread = read_mps(buffer);
+  EXPECT_EQ(reread.num_variables(), original.num_variables());
+  EXPECT_EQ(reread.num_constraints(), original.num_constraints());
+
+  const Solution b = solve(reread);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-8);
+}
+
+TEST(Mps, DoubleRoundTripIsStable) {
+  std::stringstream first, second;
+  write_mps(sample_model(), first);
+  write_mps(read_mps(first), second);
+  // Re-reading the second dump still solves to the same optimum.
+  const Solution s = solve(read_mps(second));
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, solve(sample_model()).objective, 1e-8);
+}
+
+TEST(Mps, ParsesHandWrittenFixture) {
+  const char* text = R"(* a comment
+NAME TINY
+ROWS
+ N COST
+ L CAP
+ E BAL
+COLUMNS
+    X COST -2 CAP 1
+    X BAL 1
+    Y COST -3 CAP 2
+    Y BAL -1
+RHS
+    RHS1 CAP 10 BAL 0
+BOUNDS
+ UP BND1 X 6
+ENDATA
+)";
+  std::istringstream in(text);
+  const LpModel m = read_mps(in);
+  ASSERT_EQ(m.num_variables(), 2);
+  ASSERT_EQ(m.num_constraints(), 2);
+  // min -2X -3Y, X + 2Y <= 10, X = Y, X in [0,6], Y >= 0:
+  // X = Y = t, 3t <= 10 -> t = 10/3, obj = -50/3.
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -50.0 / 3.0, 1e-7);
+}
+
+TEST(Mps, RangesSemantics) {
+  const char* text = R"(NAME RNG
+ROWS
+ N COST
+ L ROW
+COLUMNS
+    X COST 1 ROW 1
+RHS
+    RHS1 ROW 8
+RANGES
+    RNG1 ROW 3
+BOUNDS
+ FR BND1 X
+ENDATA
+)";
+  std::istringstream in(text);
+  const LpModel m = read_mps(in);
+  // L row 8 with range 3 covers [5, 8]; min X -> X = 5.
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-8);
+}
+
+TEST(Mps, RejectsMalformedInput) {
+  {
+    std::istringstream in("GARBAGE SECTION\n");
+    EXPECT_THROW(read_mps(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("ROWS\n Q BADTYPE\nENDATA\n");
+    EXPECT_THROW(read_mps(in), std::runtime_error);
+  }
+  {
+    // Unknown row referenced from COLUMNS.
+    std::istringstream in(
+        "ROWS\n N COST\nCOLUMNS\n    X NOPE 1\nENDATA\n");
+    EXPECT_THROW(read_mps(in), std::runtime_error);
+  }
+  {
+    // Missing ENDATA.
+    std::istringstream in("ROWS\n N COST\n");
+    EXPECT_THROW(read_mps(in), std::runtime_error);
+  }
+  {
+    // Malformed number.
+    std::istringstream in(
+        "ROWS\n N COST\n E R\nCOLUMNS\n    X R abc\nENDATA\n");
+    EXPECT_THROW(read_mps(in), std::runtime_error);
+  }
+}
+
+TEST(Mps, WritesInfeasibleAndUnboundedModelsFaithfully) {
+  // Unbounded: min -x, x free, no rows.
+  LpModel unbounded;
+  unbounded.add_variable(-kInfinity, kInfinity, -1.0);
+  std::stringstream buf;
+  write_mps(unbounded, buf);
+  EXPECT_EQ(solve(read_mps(buf)).status, SolveStatus::kUnbounded);
+
+  // Infeasible: 0 <= x <= 1 with x >= 5.
+  LpModel infeasible;
+  const int x = infeasible.add_variable(0.0, 1.0, 0.0);
+  const int r = infeasible.add_constraint(5.0, kInfinity);
+  infeasible.add_coefficient(r, x, 1.0);
+  std::stringstream buf2;
+  write_mps(infeasible, buf2);
+  EXPECT_EQ(solve(read_mps(buf2)).status, SolveStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace postcard::lp

@@ -1,0 +1,88 @@
+// Solver diagnostics and facade behavior: statistics fields, method
+// selection, and option plumbing.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+#include "lp/solver.h"
+
+namespace postcard::lp {
+namespace {
+
+LpModel dantzig() {
+  LpModel m;
+  const int x = m.add_variable(0.0, kInfinity, -3.0);
+  const int y = m.add_variable(0.0, kInfinity, -5.0);
+  int r1 = m.add_constraint(-kInfinity, 4.0);
+  m.add_coefficient(r1, x, 1.0);
+  int r2 = m.add_constraint(-kInfinity, 12.0);
+  m.add_coefficient(r2, y, 2.0);
+  int r3 = m.add_constraint(-kInfinity, 18.0);
+  m.add_coefficient(r3, x, 3.0);
+  m.add_coefficient(r3, y, 2.0);
+  return m;
+}
+
+TEST(SolverDiagnostics, IterationCountsAreReported) {
+  const Solution s = RevisedSimplex().solve(dantzig());
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GT(s.iterations, 0);
+  EXPECT_GE(s.iterations, s.phase1_iterations);
+  EXPECT_GE(s.degenerate_pivots, 0);
+  EXPECT_GE(s.bound_flips, 0);
+}
+
+TEST(SolverDiagnostics, PhaseOneOnlyWhenNeeded) {
+  // Pure <= rows from the origin need no artificials.
+  const Solution s = RevisedSimplex().solve(dantzig());
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.phase1_iterations, 0);
+
+  // An equality away from the origin does.
+  LpModel m;
+  const int x = m.add_variable(0.0, kInfinity, 1.0);
+  const int r = m.add_constraint(5.0, 5.0);
+  m.add_coefficient(r, x, 1.0);
+  const Solution s2 = RevisedSimplex().solve(m);
+  ASSERT_EQ(s2.status, SolveStatus::kOptimal);
+  EXPECT_GT(s2.phase1_iterations, 0);
+}
+
+TEST(SolverDiagnostics, IterationLimitIsHonored) {
+  RevisedSimplex::Options opts;
+  opts.max_iterations = 1;
+  const Solution s = RevisedSimplex(opts).solve(dantzig());
+  EXPECT_EQ(s.status, SolveStatus::kIterationLimit);
+  EXPECT_LE(s.iterations, 1);
+}
+
+TEST(SolverDiagnostics, PerturbationCanBeDisabled) {
+  RevisedSimplex::Options opts;
+  opts.perturbation = 0.0;
+  const Solution s = RevisedSimplex(opts).solve(dantzig());
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+}
+
+TEST(SolverDiagnostics, FacadeMethodSelection) {
+  SolverOptions simplex_opts;  // default
+  SolverOptions ipm_opts;
+  ipm_opts.method = Method::kInteriorPoint;
+  const Solution a = solve(dantzig(), simplex_opts);
+  const Solution b = solve(dantzig(), ipm_opts);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-5);
+  // A simplex vertex solution is exact; the IPM is interior-accurate.
+  EXPECT_NEAR(a.objective, -36.0, 1e-9);
+}
+
+TEST(SolverDiagnostics, StatusToStringCoversAllValues) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::kIterationLimit), "iteration_limit");
+  EXPECT_STREQ(to_string(SolveStatus::kNumericalFailure), "numerical_failure");
+}
+
+}  // namespace
+}  // namespace postcard::lp

@@ -1,0 +1,59 @@
+#include "sim/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace postcard::sim {
+namespace {
+
+TEST(Csv, PlainCells) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b", "c"});
+  csv.row({"1", "2", "3"});
+  EXPECT_EQ(out.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"plain", "has,comma", "has\"quote", "has\nnewline"});
+  EXPECT_EQ(out.str(), "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST(Csv, NumericCellsRoundTrip) {
+  EXPECT_EQ(CsvWriter::cell(42L), "42");
+  const std::string c = CsvWriter::cell(0.1);
+  EXPECT_DOUBLE_EQ(std::stod(c), 0.1);
+}
+
+TEST(Csv, CostSeriesLayout) {
+  RunResult a, b;
+  a.cost_series = {1.0, 2.0, 3.0};
+  b.cost_series = {10.0, 20.0, 30.0};
+  std::ostringstream out;
+  write_cost_series_csv(out, {"postcard", "flow"}, {&a, &b});
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "slot,postcard,flow");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1,10");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2,20");
+}
+
+TEST(Csv, CostSeriesValidation) {
+  RunResult a, b;
+  a.cost_series = {1.0};
+  b.cost_series = {1.0, 2.0};
+  std::ostringstream out;
+  EXPECT_THROW(write_cost_series_csv(out, {"x"}, {&a, &b}),
+               std::invalid_argument);
+  EXPECT_THROW(write_cost_series_csv(out, {"x", "y"}, {&a, &b}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace postcard::sim

@@ -1,0 +1,55 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace postcard::sim {
+namespace {
+
+TEST(Metrics, EmptyAndSingleton) {
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.n, 0);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+  const Summary one = summarize({7.5});
+  EXPECT_EQ(one.n, 1);
+  EXPECT_DOUBLE_EQ(one.mean, 7.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.ci95_halfwidth, 0.0);
+}
+
+TEST(Metrics, KnownMeanAndStddev) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample variance = 32/7.
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Metrics, ConfidenceIntervalUsesStudentT) {
+  // n = 10 samples, df = 9 -> t = 2.262.
+  std::vector<double> samples;
+  for (int i = 1; i <= 10; ++i) samples.push_back(static_cast<double>(i));
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.ci95_halfwidth, 2.262 * s.stddev / std::sqrt(10.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.lower(), s.mean - s.ci95_halfwidth);
+  EXPECT_DOUBLE_EQ(s.upper(), s.mean + s.ci95_halfwidth);
+}
+
+TEST(Metrics, StudentTTable) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-9);
+  EXPECT_NEAR(student_t_975(9), 2.262, 1e-9);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-9);
+  EXPECT_NEAR(student_t_975(1000), 1.960, 1e-9);
+  EXPECT_THROW(student_t_975(0), std::invalid_argument);
+}
+
+TEST(Metrics, ConstantSamplesHaveZeroWidth) {
+  const Summary s = summarize({3.0, 3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth, 0.0);
+}
+
+}  // namespace
+}  // namespace postcard::sim

@@ -1,0 +1,147 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace postcard::sim {
+namespace {
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.num_datacenters = 6;
+  p.link_capacity = 30.0;
+  p.files_per_slot_min = 1;
+  p.files_per_slot_max = 5;
+  p.size_min = 10.0;
+  p.size_max = 100.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = 20;
+  p.seed = 42;
+  return p;
+}
+
+TEST(UniformWorkload, TopologyMatchesPaperSetup) {
+  WorkloadParams p = small_params();
+  p.num_datacenters = 20;
+  p.link_capacity = 100.0;
+  const UniformWorkload w(p);
+  const auto& t = w.topology();
+  EXPECT_EQ(t.num_datacenters(), 20);
+  EXPECT_EQ(t.num_links(), 20 * 19);  // complete directed graph
+  for (const net::Link& l : t.links()) {
+    EXPECT_DOUBLE_EQ(l.capacity, 100.0);
+    EXPECT_GE(l.unit_cost, 1.0);
+    EXPECT_LE(l.unit_cost, 10.0);
+  }
+}
+
+TEST(UniformWorkload, BatchesRespectParameterRanges) {
+  const UniformWorkload w(small_params());
+  for (int slot = 0; slot < 20; ++slot) {
+    const auto files = w.batch(slot);
+    EXPECT_GE(static_cast<int>(files.size()), 1);
+    EXPECT_LE(static_cast<int>(files.size()), 5);
+    for (const auto& f : files) {
+      EXPECT_NE(f.source, f.destination);
+      EXPECT_GE(f.source, 0);
+      EXPECT_LT(f.source, 6);
+      EXPECT_GE(f.size, 10.0);
+      EXPECT_LE(f.size, 100.0);
+      EXPECT_GE(f.max_transfer_slots, 1);
+      EXPECT_LE(f.max_transfer_slots, 3);
+      EXPECT_EQ(f.release_slot, slot);
+      EXPECT_NO_THROW(validate(f, w.topology()));
+    }
+  }
+}
+
+TEST(UniformWorkload, DeterministicAndRandomAccess) {
+  const UniformWorkload a(small_params());
+  const UniformWorkload b(small_params());
+  // Same seed -> identical batches, regardless of query order.
+  const auto b7 = b.batch(7);
+  const auto a7 = a.batch(7);
+  ASSERT_EQ(a7.size(), b7.size());
+  for (std::size_t i = 0; i < a7.size(); ++i) {
+    EXPECT_EQ(a7[i].source, b7[i].source);
+    EXPECT_EQ(a7[i].destination, b7[i].destination);
+    EXPECT_DOUBLE_EQ(a7[i].size, b7[i].size);
+    EXPECT_EQ(a7[i].max_transfer_slots, b7[i].max_transfer_slots);
+  }
+  // Repeated queries agree.
+  const auto a7_again = a.batch(7);
+  ASSERT_EQ(a7.size(), a7_again.size());
+  for (std::size_t i = 0; i < a7.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a7[i].size, a7_again[i].size);
+  }
+}
+
+TEST(UniformWorkload, DifferentSeedsDiffer) {
+  WorkloadParams p1 = small_params();
+  WorkloadParams p2 = small_params();
+  p2.seed = 43;
+  const UniformWorkload a(p1), b(p2);
+  bool any_difference = false;
+  for (int slot = 0; slot < 5 && !any_difference; ++slot) {
+    const auto fa = a.batch(slot);
+    const auto fb = b.batch(slot);
+    if (fa.size() != fb.size()) {
+      any_difference = true;
+      break;
+    }
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      if (fa[i].size != fb[i].size || fa[i].source != fb[i].source) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(UniformWorkload, ValidatesParameters) {
+  WorkloadParams p = small_params();
+  p.num_datacenters = 1;
+  EXPECT_THROW(UniformWorkload{p}, std::invalid_argument);
+  p = small_params();
+  p.deadline_min = 0;
+  EXPECT_THROW(UniformWorkload{p}, std::invalid_argument);
+  p = small_params();
+  p.files_per_slot_max = 0;
+  EXPECT_THROW(UniformWorkload{p}, std::invalid_argument);
+  p = small_params();
+  p.size_min = -1.0;
+  EXPECT_THROW(UniformWorkload{p}, std::invalid_argument);
+}
+
+TEST(DiurnalWorkload, TroughSlotsCarryFewerFiles) {
+  WorkloadParams p = small_params();
+  p.files_per_slot_min = 10;
+  p.files_per_slot_max = 10;  // deterministic base load
+  const DiurnalWorkload w(p, /*period_slots=*/20, /*trough_factor=*/0.2);
+  // Peak of sin is at slot 5 (phase pi/2), trough at slot 15.
+  const auto peak = w.batch(5);
+  const auto trough = w.batch(15);
+  EXPECT_GT(peak.size(), trough.size());
+  EXPECT_NEAR(static_cast<double>(peak.size()), 10.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(trough.size()), 2.0, 1.0);
+}
+
+TEST(HotspotWorkload, SourcesAreSkewed) {
+  WorkloadParams p = small_params();
+  p.files_per_slot_min = 20;
+  p.files_per_slot_max = 20;
+  const HotspotWorkload w(p, /*alpha=*/2.0);
+  std::vector<int> counts(6, 0);
+  for (int slot = 0; slot < 50; ++slot) {
+    for (const auto& f : w.batch(slot)) ++counts[f.source];
+  }
+  // DC 0 carries the bulk of the load under alpha = 2.
+  EXPECT_GT(counts[0], counts[5] * 3);
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 50 * 20);
+}
+
+}  // namespace
+}  // namespace postcard::sim
