@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadline_sweep.dir/bench_deadline_sweep.cc.o"
+  "CMakeFiles/bench_deadline_sweep.dir/bench_deadline_sweep.cc.o.d"
+  "bench_deadline_sweep"
+  "bench_deadline_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadline_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy_ablation.dir/bench_greedy_ablation.cc.o"
+  "CMakeFiles/bench_greedy_ablation.dir/bench_greedy_ablation.cc.o.d"
+  "bench_greedy_ablation"
+  "bench_greedy_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

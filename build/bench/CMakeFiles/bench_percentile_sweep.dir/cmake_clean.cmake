@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_percentile_sweep.dir/bench_percentile_sweep.cc.o"
+  "CMakeFiles/bench_percentile_sweep.dir/bench_percentile_sweep.cc.o.d"
+  "bench_percentile_sweep"
+  "bench_percentile_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_percentile_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_ablation.dir/bench_solver_ablation.cc.o"
+  "CMakeFiles/bench_solver_ablation.dir/bench_solver_ablation.cc.o.d"
+  "bench_solver_ablation"
+  "bench_solver_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

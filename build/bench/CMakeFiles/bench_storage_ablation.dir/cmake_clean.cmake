@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_ablation.dir/bench_storage_ablation.cc.o"
+  "CMakeFiles/bench_storage_ablation.dir/bench_storage_ablation.cc.o.d"
+  "bench_storage_ablation"
+  "bench_storage_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_replication.dir/backup_replication.cpp.o"
+  "CMakeFiles/backup_replication.dir/backup_replication.cpp.o.d"
+  "backup_replication"
+  "backup_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

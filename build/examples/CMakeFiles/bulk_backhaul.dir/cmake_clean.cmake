@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_backhaul.dir/bulk_backhaul.cpp.o"
+  "CMakeFiles/bulk_backhaul.dir/bulk_backhaul.cpp.o.d"
+  "bulk_backhaul"
+  "bulk_backhaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_backhaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

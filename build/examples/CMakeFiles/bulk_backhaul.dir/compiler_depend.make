@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bulk_backhaul.
+# This may be replaced when dependencies are built.

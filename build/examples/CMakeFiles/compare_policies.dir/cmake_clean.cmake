@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_policies.dir/compare_policies.cpp.o"
+  "CMakeFiles/compare_policies.dir/compare_policies.cpp.o.d"
+  "compare_policies"
+  "compare_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

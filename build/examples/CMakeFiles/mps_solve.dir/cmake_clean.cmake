@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_solve.dir/mps_solve.cpp.o"
+  "CMakeFiles/mps_solve.dir/mps_solve.cpp.o.d"
+  "mps_solve"
+  "mps_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/charging/charge_state.cc" "src/charging/CMakeFiles/postcard_charging.dir/charge_state.cc.o" "gcc" "src/charging/CMakeFiles/postcard_charging.dir/charge_state.cc.o.d"
+  "/root/repo/src/charging/cost_function.cc" "src/charging/CMakeFiles/postcard_charging.dir/cost_function.cc.o" "gcc" "src/charging/CMakeFiles/postcard_charging.dir/cost_function.cc.o.d"
+  "/root/repo/src/charging/percentile.cc" "src/charging/CMakeFiles/postcard_charging.dir/percentile.cc.o" "gcc" "src/charging/CMakeFiles/postcard_charging.dir/percentile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/postcard_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postcard_charging.dir/charge_state.cc.o"
+  "CMakeFiles/postcard_charging.dir/charge_state.cc.o.d"
+  "CMakeFiles/postcard_charging.dir/cost_function.cc.o"
+  "CMakeFiles/postcard_charging.dir/cost_function.cc.o.d"
+  "CMakeFiles/postcard_charging.dir/percentile.cc.o"
+  "CMakeFiles/postcard_charging.dir/percentile.cc.o.d"
+  "libpostcard_charging.a"
+  "libpostcard_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postcard_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/column_generation.cc" "src/core/CMakeFiles/postcard_core.dir/column_generation.cc.o" "gcc" "src/core/CMakeFiles/postcard_core.dir/column_generation.cc.o.d"
+  "/root/repo/src/core/extensions.cc" "src/core/CMakeFiles/postcard_core.dir/extensions.cc.o" "gcc" "src/core/CMakeFiles/postcard_core.dir/extensions.cc.o.d"
+  "/root/repo/src/core/formulation.cc" "src/core/CMakeFiles/postcard_core.dir/formulation.cc.o" "gcc" "src/core/CMakeFiles/postcard_core.dir/formulation.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/core/CMakeFiles/postcard_core.dir/greedy.cc.o" "gcc" "src/core/CMakeFiles/postcard_core.dir/greedy.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/postcard_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/postcard_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/postcard.cc" "src/core/CMakeFiles/postcard_core.dir/postcard.cc.o" "gcc" "src/core/CMakeFiles/postcard_core.dir/postcard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/postcard_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/charging/CMakeFiles/postcard_charging.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/postcard_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/postcard_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

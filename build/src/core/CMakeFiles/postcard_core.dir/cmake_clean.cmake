@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postcard_core.dir/column_generation.cc.o"
+  "CMakeFiles/postcard_core.dir/column_generation.cc.o.d"
+  "CMakeFiles/postcard_core.dir/extensions.cc.o"
+  "CMakeFiles/postcard_core.dir/extensions.cc.o.d"
+  "CMakeFiles/postcard_core.dir/formulation.cc.o"
+  "CMakeFiles/postcard_core.dir/formulation.cc.o.d"
+  "CMakeFiles/postcard_core.dir/greedy.cc.o"
+  "CMakeFiles/postcard_core.dir/greedy.cc.o.d"
+  "CMakeFiles/postcard_core.dir/plan.cc.o"
+  "CMakeFiles/postcard_core.dir/plan.cc.o.d"
+  "CMakeFiles/postcard_core.dir/postcard.cc.o"
+  "CMakeFiles/postcard_core.dir/postcard.cc.o.d"
+  "libpostcard_core.a"
+  "libpostcard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postcard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

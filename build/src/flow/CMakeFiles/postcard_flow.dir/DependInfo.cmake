@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/baseline.cc" "src/flow/CMakeFiles/postcard_flow.dir/baseline.cc.o" "gcc" "src/flow/CMakeFiles/postcard_flow.dir/baseline.cc.o.d"
+  "/root/repo/src/flow/dynamic_flow.cc" "src/flow/CMakeFiles/postcard_flow.dir/dynamic_flow.cc.o" "gcc" "src/flow/CMakeFiles/postcard_flow.dir/dynamic_flow.cc.o.d"
+  "/root/repo/src/flow/graph.cc" "src/flow/CMakeFiles/postcard_flow.dir/graph.cc.o" "gcc" "src/flow/CMakeFiles/postcard_flow.dir/graph.cc.o.d"
+  "/root/repo/src/flow/maxflow.cc" "src/flow/CMakeFiles/postcard_flow.dir/maxflow.cc.o" "gcc" "src/flow/CMakeFiles/postcard_flow.dir/maxflow.cc.o.d"
+  "/root/repo/src/flow/mincost.cc" "src/flow/CMakeFiles/postcard_flow.dir/mincost.cc.o" "gcc" "src/flow/CMakeFiles/postcard_flow.dir/mincost.cc.o.d"
+  "/root/repo/src/flow/shortest_path.cc" "src/flow/CMakeFiles/postcard_flow.dir/shortest_path.cc.o" "gcc" "src/flow/CMakeFiles/postcard_flow.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/postcard_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/charging/CMakeFiles/postcard_charging.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/postcard_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/postcard_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

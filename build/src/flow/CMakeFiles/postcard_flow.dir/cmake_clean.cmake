@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postcard_flow.dir/baseline.cc.o"
+  "CMakeFiles/postcard_flow.dir/baseline.cc.o.d"
+  "CMakeFiles/postcard_flow.dir/dynamic_flow.cc.o"
+  "CMakeFiles/postcard_flow.dir/dynamic_flow.cc.o.d"
+  "CMakeFiles/postcard_flow.dir/graph.cc.o"
+  "CMakeFiles/postcard_flow.dir/graph.cc.o.d"
+  "CMakeFiles/postcard_flow.dir/maxflow.cc.o"
+  "CMakeFiles/postcard_flow.dir/maxflow.cc.o.d"
+  "CMakeFiles/postcard_flow.dir/mincost.cc.o"
+  "CMakeFiles/postcard_flow.dir/mincost.cc.o.d"
+  "CMakeFiles/postcard_flow.dir/shortest_path.cc.o"
+  "CMakeFiles/postcard_flow.dir/shortest_path.cc.o.d"
+  "libpostcard_flow.a"
+  "libpostcard_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postcard_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/postcard_linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/postcard_linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/linalg/CMakeFiles/postcard_linalg.dir/lu.cc.o" "gcc" "src/linalg/CMakeFiles/postcard_linalg.dir/lu.cc.o.d"
+  "/root/repo/src/linalg/sparse.cc" "src/linalg/CMakeFiles/postcard_linalg.dir/sparse.cc.o" "gcc" "src/linalg/CMakeFiles/postcard_linalg.dir/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

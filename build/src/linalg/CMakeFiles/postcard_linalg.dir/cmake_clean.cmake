@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postcard_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/postcard_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/postcard_linalg.dir/lu.cc.o"
+  "CMakeFiles/postcard_linalg.dir/lu.cc.o.d"
+  "CMakeFiles/postcard_linalg.dir/sparse.cc.o"
+  "CMakeFiles/postcard_linalg.dir/sparse.cc.o.d"
+  "libpostcard_linalg.a"
+  "libpostcard_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postcard_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/ipm.cc" "src/lp/CMakeFiles/postcard_lp.dir/ipm.cc.o" "gcc" "src/lp/CMakeFiles/postcard_lp.dir/ipm.cc.o.d"
+  "/root/repo/src/lp/model.cc" "src/lp/CMakeFiles/postcard_lp.dir/model.cc.o" "gcc" "src/lp/CMakeFiles/postcard_lp.dir/model.cc.o.d"
+  "/root/repo/src/lp/mps.cc" "src/lp/CMakeFiles/postcard_lp.dir/mps.cc.o" "gcc" "src/lp/CMakeFiles/postcard_lp.dir/mps.cc.o.d"
+  "/root/repo/src/lp/presolve.cc" "src/lp/CMakeFiles/postcard_lp.dir/presolve.cc.o" "gcc" "src/lp/CMakeFiles/postcard_lp.dir/presolve.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/lp/CMakeFiles/postcard_lp.dir/simplex.cc.o" "gcc" "src/lp/CMakeFiles/postcard_lp.dir/simplex.cc.o.d"
+  "/root/repo/src/lp/solver.cc" "src/lp/CMakeFiles/postcard_lp.dir/solver.cc.o" "gcc" "src/lp/CMakeFiles/postcard_lp.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/postcard_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postcard_lp.dir/ipm.cc.o"
+  "CMakeFiles/postcard_lp.dir/ipm.cc.o.d"
+  "CMakeFiles/postcard_lp.dir/model.cc.o"
+  "CMakeFiles/postcard_lp.dir/model.cc.o.d"
+  "CMakeFiles/postcard_lp.dir/mps.cc.o"
+  "CMakeFiles/postcard_lp.dir/mps.cc.o.d"
+  "CMakeFiles/postcard_lp.dir/presolve.cc.o"
+  "CMakeFiles/postcard_lp.dir/presolve.cc.o.d"
+  "CMakeFiles/postcard_lp.dir/simplex.cc.o"
+  "CMakeFiles/postcard_lp.dir/simplex.cc.o.d"
+  "CMakeFiles/postcard_lp.dir/solver.cc.o"
+  "CMakeFiles/postcard_lp.dir/solver.cc.o.d"
+  "libpostcard_lp.a"
+  "libpostcard_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postcard_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

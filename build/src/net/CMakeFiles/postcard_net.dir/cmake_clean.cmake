@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postcard_net.dir/time_expanded.cc.o"
+  "CMakeFiles/postcard_net.dir/time_expanded.cc.o.d"
+  "CMakeFiles/postcard_net.dir/topology.cc.o"
+  "CMakeFiles/postcard_net.dir/topology.cc.o.d"
+  "libpostcard_net.a"
+  "libpostcard_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postcard_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/csv.cc" "src/sim/CMakeFiles/postcard_sim.dir/csv.cc.o" "gcc" "src/sim/CMakeFiles/postcard_sim.dir/csv.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/postcard_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/postcard_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/postcard_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/postcard_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/postcard_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/postcard_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/postcard_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/charging/CMakeFiles/postcard_charging.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postcard_sim.dir/csv.cc.o"
+  "CMakeFiles/postcard_sim.dir/csv.cc.o.d"
+  "CMakeFiles/postcard_sim.dir/metrics.cc.o"
+  "CMakeFiles/postcard_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/postcard_sim.dir/simulator.cc.o"
+  "CMakeFiles/postcard_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/postcard_sim.dir/workload.cc.o"
+  "CMakeFiles/postcard_sim.dir/workload.cc.o.d"
+  "libpostcard_sim.a"
+  "libpostcard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postcard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charge_state.dir/charging/test_charge_state.cc.o"
+  "CMakeFiles/test_charge_state.dir/charging/test_charge_state.cc.o.d"
+  "test_charge_state"
+  "test_charge_state.pdb"
+  "test_charge_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charge_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

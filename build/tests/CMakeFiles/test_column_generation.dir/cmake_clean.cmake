@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_column_generation.dir/core/test_column_generation.cc.o"
+  "CMakeFiles/test_column_generation.dir/core/test_column_generation.cc.o.d"
+  "test_column_generation"
+  "test_column_generation.pdb"
+  "test_column_generation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_column_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

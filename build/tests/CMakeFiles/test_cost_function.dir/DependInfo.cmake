@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/charging/test_cost_function.cc" "tests/CMakeFiles/test_cost_function.dir/charging/test_cost_function.cc.o" "gcc" "tests/CMakeFiles/test_cost_function.dir/charging/test_cost_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/charging/CMakeFiles/postcard_charging.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/postcard_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

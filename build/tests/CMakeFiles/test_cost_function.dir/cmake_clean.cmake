@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_function.dir/charging/test_cost_function.cc.o"
+  "CMakeFiles/test_cost_function.dir/charging/test_cost_function.cc.o.d"
+  "test_cost_function"
+  "test_cost_function.pdb"
+  "test_cost_function[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

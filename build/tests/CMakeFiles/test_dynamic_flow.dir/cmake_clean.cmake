@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_flow.dir/flow/test_dynamic_flow.cc.o"
+  "CMakeFiles/test_dynamic_flow.dir/flow/test_dynamic_flow.cc.o.d"
+  "test_dynamic_flow"
+  "test_dynamic_flow.pdb"
+  "test_dynamic_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formulation.dir/core/test_formulation.cc.o"
+  "CMakeFiles/test_formulation.dir/core/test_formulation.cc.o.d"
+  "test_formulation"
+  "test_formulation.pdb"
+  "test_formulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_algorithms.dir/flow/test_graph_algorithms.cc.o"
+  "CMakeFiles/test_graph_algorithms.dir/flow/test_graph_algorithms.cc.o.d"
+  "test_graph_algorithms"
+  "test_graph_algorithms.pdb"
+  "test_graph_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

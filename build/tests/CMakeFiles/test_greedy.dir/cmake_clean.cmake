@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy.dir/core/test_greedy.cc.o"
+  "CMakeFiles/test_greedy.dir/core/test_greedy.cc.o.d"
+  "test_greedy"
+  "test_greedy.pdb"
+  "test_greedy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipm.dir/lp/test_ipm.cc.o"
+  "CMakeFiles/test_ipm.dir/lp/test_ipm.cc.o.d"
+  "test_ipm"
+  "test_ipm.pdb"
+  "test_ipm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_random.dir/lp/test_lp_random.cc.o"
+  "CMakeFiles/test_lp_random.dir/lp/test_lp_random.cc.o.d"
+  "test_lp_random"
+  "test_lp_random.pdb"
+  "test_lp_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mps.dir/lp/test_mps.cc.o"
+  "CMakeFiles/test_mps.dir/lp/test_mps.cc.o.d"
+  "test_mps"
+  "test_mps.pdb"
+  "test_mps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

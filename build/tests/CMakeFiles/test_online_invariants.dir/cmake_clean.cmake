@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_invariants.dir/core/test_online_invariants.cc.o"
+  "CMakeFiles/test_online_invariants.dir/core/test_online_invariants.cc.o.d"
+  "test_online_invariants"
+  "test_online_invariants.pdb"
+  "test_online_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_percentile.dir/charging/test_percentile.cc.o"
+  "CMakeFiles/test_percentile.dir/charging/test_percentile.cc.o.d"
+  "test_percentile"
+  "test_percentile.pdb"
+  "test_percentile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

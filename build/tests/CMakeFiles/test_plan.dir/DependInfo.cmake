@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_plan.cc" "tests/CMakeFiles/test_plan.dir/core/test_plan.cc.o" "gcc" "tests/CMakeFiles/test_plan.dir/core/test_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/postcard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/charging/CMakeFiles/postcard_charging.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/postcard_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/postcard_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/postcard_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postcard.dir/core/test_postcard.cc.o"
+  "CMakeFiles/test_postcard.dir/core/test_postcard.cc.o.d"
+  "test_postcard"
+  "test_postcard.pdb"
+  "test_postcard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postcard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

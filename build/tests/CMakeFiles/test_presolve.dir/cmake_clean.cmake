@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_presolve.dir/lp/test_presolve.cc.o"
+  "CMakeFiles/test_presolve.dir/lp/test_presolve.cc.o.d"
+  "test_presolve"
+  "test_presolve.pdb"
+  "test_presolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_presolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

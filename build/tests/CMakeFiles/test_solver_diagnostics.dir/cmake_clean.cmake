@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_diagnostics.dir/lp/test_solver_diagnostics.cc.o"
+  "CMakeFiles/test_solver_diagnostics.dir/lp/test_solver_diagnostics.cc.o.d"
+  "test_solver_diagnostics"
+  "test_solver_diagnostics.pdb"
+  "test_solver_diagnostics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

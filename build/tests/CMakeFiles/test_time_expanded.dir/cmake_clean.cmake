@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_expanded.dir/net/test_time_expanded.cc.o"
+  "CMakeFiles/test_time_expanded.dir/net/test_time_expanded.cc.o.d"
+  "test_time_expanded"
+  "test_time_expanded.pdb"
+  "test_time_expanded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_expanded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
