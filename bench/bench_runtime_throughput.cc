@@ -1,0 +1,158 @@
+// Throughput and latency of the online controller runtime (src/runtime).
+//
+// Two questions, two benchmark families:
+//
+//   * IngressAdmission/threads:N — how many requests per second can the
+//     thread-safe ingress admit with 1..16 concurrent producers hammering
+//     submit()? Pure admission-control throughput: no LP solves.
+//   * RuntimeReplay/workers:W — end-to-end slot engine with a real Postcard
+//     backend replaying a seeded workload. W = 0 is the deterministic
+//     inline mode; W >= 1 dispatches split-batch group solves onto the
+//     worker pool (parallel_groups = max(2, W)). Counters report the mean
+//     requests/sec and the p99 slot latency; `conflicts` counts group plans
+//     the single writer had to re-solve against live state.
+//   * RuntimeMultiPolicy/workers:W — Postcard + flow baseline on the same
+//     slot clock; the pool solves the two policies concurrently, so slot
+//     wall time drops from sum to max of the per-policy solve times.
+//
+// Interpreting worker scaling: google-benchmark's header prints the host's
+// core count. On a single-core host (such as the CI container this repo is
+// developed in) every worker count necessarily lands within a few percent
+// of the inline mode — that parity is the expected result there, and the
+// benchmark's value is confirming the pool adds no more than that overhead.
+// Speedup claims require the multi-core readings.
+//
+// Build & run:  cmake --build build && ./build/bench/bench_runtime_throughput
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "sim/workload.h"
+
+namespace postcard::bench {
+namespace {
+
+sim::WorkloadParams runtime_params(std::uint64_t seed) {
+  sim::WorkloadParams p;
+  p.num_datacenters = 6;
+  p.link_capacity = 400.0;
+  // Batches large enough that the per-slot LP work dominates the slot
+  // budget, so worker scaling (not queue bookkeeping) is what's measured.
+  // Capacity is generous: a congested workload makes split-batch groups
+  // oversubscribe links and the conflict re-solves drown the parallelism.
+  p.files_per_slot_min = 8;
+  p.files_per_slot_max = 20;
+  p.size_min = 10.0;
+  p.size_max = 100.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = 10;
+  p.seed = seed;
+  return p;
+}
+
+net::FileRequest make_file(int id, int num_dcs) {
+  net::FileRequest f;
+  f.id = id;
+  f.source = id % num_dcs;
+  f.destination = (id + 1 + id / num_dcs) % num_dcs;
+  if (f.destination == f.source) f.destination = (f.source + 1) % num_dcs;
+  f.size = 10.0 + (id % 90);
+  f.max_transfer_slots = 1 + id % 3;
+  f.release_slot = id % 16;
+  return f;
+}
+
+/// N producer threads race submissions into a bare ingress; measures the
+/// admission-control path (validation + capacity check + queue push) alone.
+void IngressAdmission(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kPerThread = 2000;
+  constexpr int kDcs = 8;
+  const net::Topology topology =
+      net::Topology::complete(kDcs, 100.0, [](int, int) { return 2.0; });
+
+  for (auto _ : state) {
+    runtime::EventQueue queue;
+    runtime::RequestIngress ingress(topology, queue);
+    std::vector<std::thread> producers;
+    producers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      producers.emplace_back([&ingress, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          ingress.submit(make_file(t * kPerThread + i, kDcs));
+        }
+      });
+    }
+    for (auto& p : producers) p.join();
+    benchmark::DoNotOptimize(ingress.admitted());
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kPerThread);
+}
+
+/// Full engine: replay a seeded workload through a Postcard backend with W
+/// worker threads. Wall time is dominated by the per-slot LP solves, which
+/// is exactly what the worker pool parallelises in split-batch mode.
+void RuntimeReplay(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const sim::UniformWorkload workload(runtime_params(17));
+  long requests = 0;
+  double p99_slot = 0.0;
+  double conflicts = 0.0;
+
+  for (auto _ : state) {
+    runtime::RuntimeOptions options;
+    options.worker_threads = workers;
+    options.parallel_groups = workers <= 1 ? 1 : std::max(2, workers);
+    runtime::ControllerRuntime engine{net::Topology(workload.topology()),
+                                      options};
+    engine.add_postcard_backend();
+    const runtime::RuntimeStats stats = engine.replay(workload);
+    requests += stats.submitted;
+    p99_slot = stats.slot_latency.quantile(0.99);
+    conflicts = static_cast<double>(stats.backends[0].conflict_resolves);
+  }
+  state.SetItemsProcessed(requests);
+  state.counters["p99_slot_ms"] = 1e3 * p99_slot;
+  state.counters["conflicts"] = conflicts;
+}
+
+/// Per-policy dispatch: Postcard and the flow baseline ride the same slot
+/// clock; with workers the pool solves them concurrently, so the slot wall
+/// time drops from sum to max of the two solve times.
+void RuntimeMultiPolicy(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const sim::UniformWorkload workload(runtime_params(17));
+  long requests = 0;
+  double p99_slot = 0.0;
+
+  for (auto _ : state) {
+    runtime::RuntimeOptions options;
+    options.worker_threads = workers;
+    runtime::ControllerRuntime engine{net::Topology(workload.topology()),
+                                      options};
+    engine.add_postcard_backend();
+    engine.add_flow_backend();
+    const runtime::RuntimeStats stats = engine.replay(workload);
+    requests += stats.submitted;
+    p99_slot = stats.slot_latency.quantile(0.99);
+  }
+  state.SetItemsProcessed(requests);
+  state.counters["p99_slot_ms"] = 1e3 * p99_slot;
+}
+
+// UseRealTime: rate counters must reflect wall clock — with worker threads
+// the driver's CPU time is near zero while the pool does the solving.
+BENCHMARK(IngressAdmission)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->UseRealTime();
+BENCHMARK(RuntimeReplay)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+BENCHMARK(RuntimeMultiPolicy)->Arg(0)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+}  // namespace postcard::bench
+
+BENCHMARK_MAIN();

@@ -1,7 +1,27 @@
-#!/bin/sh
-# Final verification driver: full test suite + every benchmark binary,
-# teeing into the repository-root output files.
-cd /root/repo || exit 1
-ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee /root/repo/bench_output.txt
+#!/usr/bin/env bash
+# Final verification driver: configure + build, full test suite, a
+# ThreadSanitizer pass over the `runtime`-labeled concurrency tests, and
+# every benchmark binary, teeing into the repository-root output files.
+#
+# JOBS controls build/test parallelism (default: all cores).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}" 2>&1 | tee test_output.txt
+
+# Concurrency suite under TSAN: the preset configures build-tsan/ with
+# -DPOSTCARD_TSAN=ON; any data race fails the run.
+cmake --preset tsan
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan -L runtime --output-on-failure -j "${JOBS}" \
+  2>&1 | tee -a test_output.txt
+
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  "$b"
+done 2>&1 | tee bench_output.txt
 echo "ALL_RUNS_COMPLETE"

@@ -15,6 +15,19 @@ void ChargeState::commit(int link, int slot, double volume) {
   charged_[link] = std::max(charged_[link], recorder_.volume(link, slot));
 }
 
+void ChargeState::uncommit(int link, int slot, double volume) {
+  if (volume == 0.0) return;
+  recorder_.reduce(link, slot, volume);
+  // X_ij is the running maximum of the record; with one slot lowered the
+  // maximum over the remaining series is exact (past slots are untouched
+  // by contract, so real traffic maxima survive).
+  double charged = 0.0;
+  for (int n = 0; n < recorder_.num_slots(); ++n) {
+    charged = std::max(charged, recorder_.volume(link, n));
+  }
+  charged_[link] = charged;
+}
+
 double ChargeState::cost_per_interval(const net::Topology& topology) const {
   if (topology.num_links() != num_links()) {
     throw std::invalid_argument("topology link count mismatch");

@@ -20,6 +20,14 @@ class ChargeState {
   /// Commits `volume` GB on `link` during `slot` (accumulates).
   void commit(int link, int slot, double volume);
 
+  /// Cancels up to `volume` GB previously committed on `link` during
+  /// `slot` and recomputes X_ij from the remaining record. Only valid for
+  /// committed-but-not-yet-executed traffic (future slots): a link failure
+  /// invalidates a plan's tail before the ISP ever sees the volume, so the
+  /// speculative charge raise is rolled back. Past slots' actual traffic
+  /// must never be uncommitted — that money is spent.
+  void uncommit(int link, int slot, double volume);
+
   /// X_ij(t): the maximum per-slot volume committed on `link` so far.
   double charged(int link) const { return charged_[link]; }
 

@@ -21,6 +21,15 @@ void PercentileRecorder::record(int link, int slot, double volume) {
   num_slots_ = std::max(num_slots_, slot + 1);
 }
 
+void PercentileRecorder::reduce(int link, int slot, double volume) {
+  if (link < 0 || link >= num_links()) throw std::out_of_range("bad link");
+  if (slot < 0) throw std::out_of_range("negative slot");
+  if (volume < 0.0) throw std::invalid_argument("negative volume");
+  auto& s = series_[link];
+  if (slot >= static_cast<int>(s.size())) return;  // nothing recorded
+  s[slot] = std::max(0.0, s[slot] - volume);
+}
+
 double PercentileRecorder::volume(int link, int slot) const {
   const auto& s = series_[link];
   if (slot < 0 || slot >= static_cast<int>(s.size())) return 0.0;

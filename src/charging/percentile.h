@@ -24,6 +24,12 @@ class PercentileRecorder {
   /// Adds `volume` to link `link`'s traffic during slot `slot`.
   void record(int link, int slot, double volume);
 
+  /// Removes up to `volume` from link `link`'s record during `slot`
+  /// (clamped at zero). Only meaningful for *future* slots whose planned
+  /// traffic never flowed — the runtime cancels the committed tail of a
+  /// plan when a link failure invalidates it before execution.
+  void reduce(int link, int slot, double volume);
+
   /// Number of slots observed so far (max recorded slot + 1).
   int num_slots() const { return num_slots_; }
   int num_links() const { return static_cast<int>(series_.size()); }

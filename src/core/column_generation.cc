@@ -246,6 +246,10 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
 
   std::vector<std::map<int, double>> per_file_arc(files.size());
   for (const PathColumn& col : columns) {
+    // Columns priced in after the last master solve have no entry in sol.x
+    // (the gap- and stall-exits break between pricing and the next solve);
+    // their flow is zero by definition.
+    if (static_cast<std::size_t>(col.var) >= sol.x.size()) continue;
     const double flow = sol.x[col.var];
     if (flow <= kFlowEps) continue;
     for (int a : col.arcs) per_file_arc[col.file][a] += flow;

@@ -19,6 +19,27 @@ PostcardController::PostcardController(net::Topology topology,
   }
 }
 
+bool PostcardController::set_link_capacity(int link, double capacity) {
+  topology_.set_capacity(link, capacity);
+  return true;
+}
+
+void PostcardController::commit_plans(const std::vector<FilePlan>& plans) {
+  for (const FilePlan& plan : plans) {
+    for (const Transfer& t : plan.transfers) {
+      if (!t.storage()) charge_.commit(t.link, t.slot, t.volume);
+    }
+  }
+}
+
+void PostcardController::uncommit_future(const FilePlan& plan, int from_slot) {
+  for (const Transfer& t : plan.transfers) {
+    if (!t.storage() && t.slot >= from_slot) {
+      charge_.uncommit(t.link, t.slot, t.volume);
+    }
+  }
+}
+
 sim::ScheduleOutcome PostcardController::schedule(
     int slot, const std::vector<net::FileRequest>& files) {
   sim::ScheduleOutcome outcome;

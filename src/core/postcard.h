@@ -61,6 +61,28 @@ class PostcardController : public sim::SchedulingPolicy {
 
   const net::Topology& topology() const { return topology_; }
 
+  // --- Online-runtime hooks (src/runtime) -------------------------------
+
+  /// Live capacity override; 0 marks the link down. Future solves price
+  /// against the new capacity. Committed plans are NOT revalidated here —
+  /// the runtime owns invalidation and replanning (uncommit_future).
+  bool set_link_capacity(int link, double capacity) override;
+
+  /// Deep copy sharing nothing with *this: the runtime's parallel
+  /// split-batch mode solves sub-batches on snapshot clones while the live
+  /// controller keeps sole write ownership of the charge state.
+  PostcardController snapshot_clone() const { return *this; }
+
+  /// Commits plans produced on a snapshot clone into the live charge
+  /// state. The caller (the runtime's single writer) is responsible for
+  /// validating residual capacity before committing.
+  void commit_plans(const std::vector<FilePlan>& plans);
+
+  /// Rolls the committed tail of `plan` (transfers at slots >= from_slot)
+  /// back out of the charge state — a link failure invalidated the plan
+  /// before that traffic flowed.
+  void uncommit_future(const FilePlan& plan, int from_slot);
+
  private:
   /// Attempts to schedule the whole batch. On infeasibility, fills
   /// `unroutable_ids` with the files the column-generation master could not

@@ -14,6 +14,21 @@ FlowBaseline::FlowBaseline(net::Topology topology, FlowBaselineOptions options)
       options_(options),
       charge_(topology_.num_links()) {}
 
+bool FlowBaseline::set_link_capacity(int link, double capacity) {
+  topology_.set_capacity(link, capacity);
+  return true;
+}
+
+void FlowBaseline::uncommit_future(const FlowAssignment& assignment,
+                                   int from_slot) {
+  const int end = assignment.start_slot + assignment.duration;
+  for (const auto& [link, rate] : assignment.link_rates) {
+    for (int n = std::max(from_slot, assignment.start_slot); n < end; ++n) {
+      charge_.uncommit(link, n, rate);
+    }
+  }
+}
+
 double FlowBaseline::residual_capacity(int link, int slot) const {
   return std::max(0.0,
                   topology_.link(link).capacity - charge_.committed(link, slot));

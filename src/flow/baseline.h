@@ -65,6 +65,19 @@ class FlowBaseline : public sim::SchedulingPolicy {
     return last_assignments_;
   }
 
+  const net::Topology& topology() const { return topology_; }
+
+  // --- Online-runtime hooks (src/runtime) -------------------------------
+
+  /// Live capacity override; 0 marks the link down. Committed assignments
+  /// are NOT revalidated — the runtime invalidates and replans them.
+  bool set_link_capacity(int link, double capacity) override;
+
+  /// Rolls the committed tail of `assignment` (slots >= from_slot) back
+  /// out of the charge state: a link failure stopped the flow before its
+  /// remaining volume was carried.
+  void uncommit_future(const FlowAssignment& assignment, int from_slot);
+
  private:
   /// Residual physical capacity of `link` during `slot`.
   double residual_capacity(int link, int slot) const;

@@ -41,6 +41,14 @@ void Topology::set_link(int from, int to, double capacity, double unit_cost) {
   links_.push_back({from, to, capacity, unit_cost});
 }
 
+void Topology::set_capacity(int link_index, double capacity) {
+  if (link_index < 0 || link_index >= num_links()) {
+    throw std::out_of_range("link index outside topology");
+  }
+  if (capacity < 0.0) throw std::invalid_argument("capacity must be non-negative");
+  links_[static_cast<std::size_t>(link_index)].capacity = capacity;
+}
+
 int Topology::link_index(int from, int to) const {
   if (from < 0 || from >= n_ || to < 0 || to >= n_) return -1;
   return index_[static_cast<std::size_t>(from) * n_ + to];

@@ -34,6 +34,12 @@ class Topology {
   /// (storage is modelled by the time-expanded graph, not the topology).
   void set_link(int from, int to, double capacity, double unit_cost);
 
+  /// Updates the capacity of an existing link by index, keeping its unit
+  /// cost. Capacity 0 models a failed link (the link still exists but can
+  /// carry no traffic) — the runtime's LinkDown/LinkUp/CapacityChange
+  /// events land here.
+  void set_capacity(int link_index, double capacity);
+
   int num_datacenters() const { return n_; }
   int num_links() const { return static_cast<int>(links_.size()); }
   const std::vector<Link>& links() const { return links_; }

@@ -1,0 +1,44 @@
+#include "runtime/event.h"
+
+namespace postcard::runtime {
+
+int event_phase(const EventPayload& payload) {
+  if (std::holds_alternative<FileArrival>(payload)) return 1;
+  if (std::holds_alternative<SlotTick>(payload)) return 2;
+  return 0;  // LinkDown / LinkUp / CapacityChange
+}
+
+std::uint64_t EventQueue::push(int slot, EventPayload payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{slot, event_phase(payload), seq, std::move(payload)});
+  return seq;
+}
+
+bool EventQueue::pop_due(int slot, Event* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heap_.empty() || heap_.top().slot > slot) return false;
+  const Entry& top = heap_.top();
+  out->slot = top.slot;
+  out->seq = top.seq;
+  out->payload = top.payload;
+  heap_.pop();
+  return true;
+}
+
+int EventQueue::next_slot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.empty() ? -1 : heap_.top().slot;
+}
+
+std::size_t EventQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+std::uint64_t EventQueue::pushed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+}  // namespace postcard::runtime

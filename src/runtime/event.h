@@ -1,0 +1,105 @@
+// Typed events driving the online controller runtime.
+//
+// The runtime is slot-clocked: every event carries the slot at which it
+// takes effect, and within a slot events are totally ordered by phase
+// (network changes first, then file arrivals, then the slot tick that
+// triggers the solve) and by submission sequence number. The sequence
+// number is assigned under the queue lock, so any fixed submission order
+// yields a bit-for-bit identical drain order — the foundation of the
+// runtime's determinism guarantee (see DESIGN.md, "Online controller
+// runtime").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <variant>
+#include <vector>
+
+#include "net/file_request.h"
+
+namespace postcard::runtime {
+
+/// A file request enters the system; it joins the batch K(slot) of the
+/// event's slot (the request's release slot, as adjusted by the ingress).
+struct FileArrival {
+  net::FileRequest file;
+};
+
+/// An overlay link fails: capacity drops to zero and committed in-flight
+/// plans crossing the link at this slot or later must be replanned.
+struct LinkDown {
+  int link = -1;
+};
+
+/// A failed link recovers to its last configured capacity.
+struct LinkUp {
+  int link = -1;
+};
+
+/// The provisioned capacity of a link changes (e.g. an ISP contract
+/// update). Takes effect for all future solves; does not trigger replans.
+struct CapacityChange {
+  int link = -1;
+  double capacity = 0.0;
+};
+
+/// The slot clock advances: the batch accumulated for this slot is solved
+/// and committed. Ordered after every other event of the same slot.
+struct SlotTick {
+  int slot = 0;
+};
+
+using EventPayload =
+    std::variant<LinkDown, LinkUp, CapacityChange, FileArrival, SlotTick>;
+
+/// Intra-slot ordering class: 0 network events, 1 arrivals, 2 the tick.
+int event_phase(const EventPayload& payload);
+
+struct Event {
+  int slot = 0;
+  std::uint64_t seq = 0;  // global submission order, assigned by the queue
+  EventPayload payload;
+};
+
+/// Thread-safe priority queue over (slot, phase, seq). Producers push from
+/// any thread; the runtime's driver thread pops everything due at the
+/// current slot. Events are never reordered relative to an identical
+/// submission history.
+class EventQueue {
+ public:
+  /// Enqueues `payload` to fire at `slot`; returns its sequence number.
+  std::uint64_t push(int slot, EventPayload payload);
+
+  /// Pops the least (slot, phase, seq) event with slot <= `slot` into
+  /// `*out`. Returns false when nothing is due yet.
+  bool pop_due(int slot, Event* out);
+
+  /// Slot of the earliest pending event, or -1 when empty.
+  int next_slot() const;
+
+  std::size_t depth() const;
+  std::uint64_t pushed_total() const;
+
+ private:
+  struct Entry {
+    int slot;
+    int phase;
+    std::uint64_t seq;
+    EventPayload payload;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.slot != b.slot) return a.slot > b.slot;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.seq > b.seq;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace postcard::runtime

@@ -1,0 +1,77 @@
+#include "runtime/ingress.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace postcard::runtime {
+
+RequestIngress::RequestIngress(const net::Topology& topology, EventQueue& queue)
+    : queue_(queue), topology_(topology) {
+  const int n = topology_.num_datacenters();
+  egress_.assign(static_cast<std::size_t>(n), 0.0);
+  ingress_.assign(static_cast<std::size_t>(n), 0.0);
+  for (const net::Link& l : topology_.links()) {
+    egress_[static_cast<std::size_t>(l.from)] += l.capacity;
+    ingress_[static_cast<std::size_t>(l.to)] += l.capacity;
+  }
+}
+
+AdmissionResult RequestIngress::submit(const net::FileRequest& file) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  AdmissionResult result;
+
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    try {
+      net::validate(file, topology_);
+      const double deadline = static_cast<double>(file.max_transfer_slots);
+      const double out = egress_[static_cast<std::size_t>(file.source)];
+      const double in = ingress_[static_cast<std::size_t>(file.destination)];
+      if (out <= 0.0) {
+        reason = "source has no live egress link";
+      } else if (in <= 0.0) {
+        reason = "destination has no live ingress link";
+      } else if (file.size > deadline * out || file.size > deadline * in) {
+        reason = "size exceeds deadline * aggregate live capacity";
+      }
+    } catch (const std::invalid_argument& e) {
+      reason = e.what();
+    }
+    if (!reason.empty()) rejected_volume_ += std::max(0.0, file.size);
+  }
+  if (!reason.empty()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    result.admitted = false;
+    result.reason = std::move(reason);
+    return result;
+  }
+
+  net::FileRequest stamped = file;
+  stamped.release_slot =
+      std::max(stamped.release_slot, now_.load(std::memory_order_relaxed));
+  queue_.push(stamped.release_slot, FileArrival{stamped});
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  result.admitted = true;
+  result.slot = stamped.release_slot;
+  return result;
+}
+
+void RequestIngress::set_link_capacity(int link, double capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (link < 0 || link >= topology_.num_links()) {
+    throw std::out_of_range("link index outside topology");
+  }
+  const net::Link& l = topology_.link(link);
+  const double delta = capacity - l.capacity;
+  egress_[static_cast<std::size_t>(l.from)] += delta;
+  ingress_[static_cast<std::size_t>(l.to)] += delta;
+  topology_.set_capacity(link, capacity);
+}
+
+double RequestIngress::rejected_volume() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_volume_;
+}
+
+}  // namespace postcard::runtime

@@ -1,0 +1,74 @@
+// Thread-safe request ingress with deadline admission control.
+//
+// N producer threads (RPC handlers, replication daemons, ...) submit file
+// requests concurrently; the ingress validates each against the live
+// topology, applies a cheap *necessary* schedulability test against the
+// file's deadline, and forwards admitted requests into the event queue as
+// FileArrival events for their release slot. Requests whose release slot
+// has already been ticked are re-stamped to the next slot — a request can
+// never join a batch in the past.
+//
+// The structural test is deliberately conservative (it must never reject a
+// file the solver could schedule): a file of size F with deadline T is
+// rejected only when the source has no live egress at all, the destination
+// no live ingress, or F exceeds T times the aggregate live egress (or
+// ingress) capacity — an upper bound on what *any* store-and-forward or
+// flow schedule can move. Files passing the test may still be rejected by
+// the per-slot solve; that rejection is the policy's and is accounted
+// separately in BackendStats.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/file_request.h"
+#include "net/topology.h"
+#include "runtime/event.h"
+
+namespace postcard::runtime {
+
+struct AdmissionResult {
+  bool admitted = false;
+  int slot = -1;        // slot whose batch the file joined (admitted only)
+  std::string reason;   // human-readable rejection cause
+};
+
+class RequestIngress {
+ public:
+  /// The ingress keeps its own copy of the topology as a live-capacity
+  /// view; the runtime mirrors LinkDown/LinkUp/CapacityChange into it.
+  RequestIngress(const net::Topology& topology, EventQueue& queue);
+
+  /// Thread-safe: admits or rejects `file`. Admitted files are pushed into
+  /// the event queue as FileArrival events.
+  AdmissionResult submit(const net::FileRequest& file);
+
+  /// Mirrors a network event into the admission capacity view.
+  void set_link_capacity(int link, double capacity);
+
+  /// The runtime advances this as slots complete; submissions with an
+  /// earlier release slot are re-stamped to `now`.
+  void set_now(int slot) { now_.store(slot, std::memory_order_relaxed); }
+
+  long submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  long admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  long rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  double rejected_volume() const;
+
+ private:
+  EventQueue& queue_;
+  std::atomic<int> now_{0};
+  std::atomic<long> submitted_{0};
+  std::atomic<long> admitted_{0};
+  std::atomic<long> rejected_{0};
+
+  mutable std::mutex mu_;  // guards capacity view + rejected volume
+  net::Topology topology_;
+  std::vector<double> egress_;   // live egress capacity per datacenter
+  std::vector<double> ingress_;  // live ingress capacity per datacenter
+  double rejected_volume_ = 0.0;
+};
+
+}  // namespace postcard::runtime

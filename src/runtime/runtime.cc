@@ -1,0 +1,506 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace postcard::runtime {
+namespace {
+
+template <class... Ts>
+struct overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+overloaded(Ts...) -> overloaded<Ts...>;
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ControllerRuntime::ControllerRuntime(net::Topology topology,
+                                     RuntimeOptions options)
+    : options_(options),
+      live_topology_(std::move(topology)),
+      queue_(),
+      ingress_(live_topology_, queue_),
+      pool_(options.worker_threads) {
+  if (options_.parallel_groups < 1) {
+    throw std::invalid_argument("parallel_groups must be at least 1");
+  }
+  base_capacity_.reserve(static_cast<std::size_t>(live_topology_.num_links()));
+  for (const net::Link& l : live_topology_.links()) {
+    base_capacity_.push_back(l.capacity);
+  }
+  link_down_.assign(static_cast<std::size_t>(live_topology_.num_links()), false);
+}
+
+ControllerRuntime::~ControllerRuntime() = default;
+
+int ControllerRuntime::add_postcard_backend(core::PostcardOptions options) {
+  auto controller = std::make_unique<core::PostcardController>(
+      net::Topology(live_topology_), options);
+  auto backend = std::make_unique<Backend>();
+  backend->postcard = controller.get();
+  backend->policy = std::move(controller);
+  backend->stats.name = backend->policy->name();
+  backends_.push_back(std::move(backend));
+  return num_backends() - 1;
+}
+
+int ControllerRuntime::add_flow_backend(flow::FlowBaselineOptions options) {
+  auto baseline = std::make_unique<flow::FlowBaseline>(
+      net::Topology(live_topology_), options);
+  auto backend = std::make_unique<Backend>();
+  backend->flowbase = baseline.get();
+  backend->policy = std::move(baseline);
+  backend->stats.name = backend->policy->name();
+  backends_.push_back(std::move(backend));
+  return num_backends() - 1;
+}
+
+int ControllerRuntime::add_backend(
+    std::unique_ptr<sim::SchedulingPolicy> policy) {
+  auto backend = std::make_unique<Backend>();
+  backend->policy = std::move(policy);
+  backend->stats.name = backend->policy->name();
+  backends_.push_back(std::move(backend));
+  return num_backends() - 1;
+}
+
+void ControllerRuntime::apply_capacity(int link, double capacity) {
+  live_topology_.set_capacity(link, capacity);
+  ingress_.set_link_capacity(link, capacity);
+  for (auto& b : backends_) b->policy->set_link_capacity(link, capacity);
+}
+
+void ControllerRuntime::on_link_down(int slot, int link) {
+  link_down_[static_cast<std::size_t>(link)] = true;
+  apply_capacity(link, 0.0);
+  if (!options_.replan_on_link_down) return;
+  for (auto& b : backends_) {
+    if (b->postcard != nullptr) invalidate_plans(*b, slot, link);
+    if (b->flowbase != nullptr) invalidate_flows(*b, slot, link);
+  }
+}
+
+void ControllerRuntime::invalidate_plans(Backend& b, int slot, int link) {
+  std::vector<int> affected;
+  for (const auto& [id, entry] : b.plans) {
+    for (const core::Transfer& t : entry.plan.transfers) {
+      if (!t.storage() && t.link == link && t.slot >= slot) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+  for (int id : affected) {
+    InFlightPlan entry = std::move(b.plans.at(id));
+    b.plans.erase(id);
+    b.postcard->uncommit_future(entry.plan, slot);
+    // Replay the executed prefix (slots < `slot`) to locate the file's
+    // volume: what already reached the destination stays delivered, the
+    // rest is stranded wherever the plan last put it.
+    std::unordered_map<int, double> holdings;
+    holdings[entry.request.source] = entry.request.size;
+    for (const core::Transfer& t : entry.plan.transfers) {
+      if (t.storage() || t.slot >= slot) continue;
+      holdings[t.from] -= t.volume;
+      holdings[t.to] += t.volume;
+    }
+    double arrived = 0.0;
+    if (auto it = holdings.find(entry.request.destination);
+        it != holdings.end()) {
+      arrived = std::max(0.0, it->second);
+      holdings.erase(it);
+    }
+    if (arrived > 0.0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      b.stats.delivered_volume += arrived;
+    }
+    for (const auto& [node, volume] : holdings) {
+      if (volume <= options_.volume_epsilon) continue;
+      requeue_remainder(b, entry.request, node, volume, entry.deadline_slot,
+                        slot);
+    }
+  }
+}
+
+void ControllerRuntime::invalidate_flows(Backend& b, int slot, int link) {
+  std::vector<int> affected;
+  for (const auto& [id, entry] : b.flows) {
+    const flow::FlowAssignment& a = entry.assignment;
+    if (a.start_slot + a.duration <= slot) continue;  // already done
+    for (const auto& [l, rate] : a.link_rates) {
+      if (l == link && rate > options_.volume_epsilon) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+  for (int id : affected) {
+    InFlightFlow entry = std::move(b.flows.at(id));
+    b.flows.erase(id);
+    b.flowbase->uncommit_future(entry.assignment, slot);
+    const flow::FlowAssignment& a = entry.assignment;
+    const int completed = std::clamp(slot - a.start_slot, 0, a.duration);
+    const double delivered =
+        std::min(entry.request.size, a.rate * completed);
+    if (delivered > 0.0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      b.stats.delivered_volume += delivered;
+    }
+    const double remaining = entry.request.size - delivered;
+    if (remaining > options_.volume_epsilon) {
+      requeue_remainder(b, entry.request, entry.request.source, remaining,
+                        a.start_slot + a.duration, slot);
+    }
+  }
+}
+
+void ControllerRuntime::requeue_remainder(Backend& b,
+                                          const net::FileRequest& origin,
+                                          int node, double volume,
+                                          int deadline_slot, int slot) {
+  if (node == origin.destination) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    b.stats.delivered_volume += volume;
+    return;
+  }
+  const int slack = deadline_slot - slot;
+  if (slack < 1) {
+    // No slot left before the deadline: the file fails loudly, never
+    // silently — the volume lands in the failure counters.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++b.stats.failed_files;
+    b.stats.failed_volume += volume;
+    return;
+  }
+  net::FileRequest request;
+  request.id = next_synthetic_id_++;
+  request.source = node;
+  request.destination = origin.destination;
+  request.size = volume;
+  request.max_transfer_slots = slack;
+  request.release_slot = slot;
+  b.replan_batch.push_back(request);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++b.stats.replans;
+  b.stats.replanned_volume += volume;
+}
+
+void ControllerRuntime::tick() {
+  const int slot = next_slot_;
+  const auto start = std::chrono::steady_clock::now();
+  retire_completed(slot);
+  queue_.push(slot, SlotTick{slot});
+
+  std::vector<net::FileRequest> arrivals;
+  std::vector<net::FileRequest> late;  // arrived after this slot's solve
+  bool solved = false;
+  long link_events = 0;
+  Event event;
+  while (queue_.pop_due(slot, &event)) {
+    std::visit(
+        overloaded{
+            [&](const LinkDown& e) {
+              ++link_events;
+              on_link_down(slot, e.link);
+            },
+            [&](const LinkUp& e) {
+              ++link_events;
+              link_down_[static_cast<std::size_t>(e.link)] = false;
+              apply_capacity(e.link,
+                             base_capacity_[static_cast<std::size_t>(e.link)]);
+            },
+            [&](const CapacityChange& e) {
+              ++link_events;
+              base_capacity_[static_cast<std::size_t>(e.link)] = e.capacity;
+              if (!link_down_[static_cast<std::size_t>(e.link)]) {
+                apply_capacity(e.link, e.capacity);
+              }
+            },
+            [&](const FileArrival& e) {
+              // A producer can race an arrival into the queue after this
+              // slot's SlotTick has already been popped and solved; such
+              // stragglers join the next slot's batch instead of vanishing.
+              (solved ? late : arrivals).push_back(e.file);
+            },
+            [&](const SlotTick&) {
+              if (!solved) {
+                solve_slot(slot, arrivals);
+                solved = true;
+              }
+            },
+        },
+        event.payload);
+  }
+  for (const net::FileRequest& f : late) queue_.push(slot + 1, FileArrival{f});
+
+  next_slot_ = slot + 1;
+  ingress_.set_now(next_slot_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++slots_processed_;
+  link_events_ += link_events;
+  slot_latency_.add(elapsed_seconds(start));
+}
+
+void ControllerRuntime::solve_slot(int slot,
+                                   const std::vector<net::FileRequest>& arrivals) {
+  struct TaskResult {
+    sim::ScheduleOutcome outcome;
+    std::vector<core::FilePlan> plans;
+    std::vector<net::FileRequest> files;  // the group actually solved
+    double seconds = 0.0;
+  };
+  struct BackendWork {
+    Backend* backend = nullptr;
+    std::vector<net::FileRequest> batch;
+    int groups = 1;          // 1 = live sequential solve
+    std::size_t first = 0;   // index of the first TaskResult
+  };
+
+  std::vector<BackendWork> work;
+  work.reserve(backends_.size());
+  std::size_t num_tasks = 0;
+  for (auto& bp : backends_) {
+    BackendWork w;
+    w.backend = bp.get();
+    w.batch = arrivals;
+    w.batch.insert(w.batch.end(), bp->replan_batch.begin(),
+                   bp->replan_batch.end());
+    bp->replan_batch.clear();
+    w.groups = 1;
+    if (bp->postcard != nullptr && options_.parallel_groups > 1 &&
+        w.batch.size() >= 2) {
+      w.groups = std::min<int>(options_.parallel_groups,
+                               static_cast<int>(w.batch.size()));
+    }
+    w.first = num_tasks;
+    num_tasks += static_cast<std::size_t>(w.groups);
+    work.push_back(std::move(w));
+  }
+
+  std::vector<TaskResult> results(num_tasks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_tasks);
+  for (BackendWork& w : work) {
+    if (w.groups == 1) {
+      Backend* b = w.backend;
+      TaskResult* out = &results[w.first];
+      const std::vector<net::FileRequest>* batch = &w.batch;
+      tasks.push_back([b, out, batch, slot] {
+        const auto t0 = std::chrono::steady_clock::now();
+        out->outcome = b->policy->schedule(slot, *batch);
+        if (b->postcard != nullptr) out->plans = b->postcard->last_plans();
+        out->files = *batch;
+        out->seconds = elapsed_seconds(t0);
+      });
+      continue;
+    }
+    // Split-batch mode: each group solves against a snapshot clone; the
+    // single writer validates and commits after the barrier.
+    for (int g = 0; g < w.groups; ++g) {
+      std::vector<net::FileRequest> group;
+      for (std::size_t i = static_cast<std::size_t>(g); i < w.batch.size();
+           i += static_cast<std::size_t>(w.groups)) {
+        group.push_back(w.batch[i]);
+      }
+      core::PostcardController clone = w.backend->postcard->snapshot_clone();
+      TaskResult* out = &results[w.first + static_cast<std::size_t>(g)];
+      out->files = std::move(group);
+      tasks.push_back([clone = std::move(clone), out, slot]() mutable {
+        const auto t0 = std::chrono::steady_clock::now();
+        out->outcome = clone.schedule(slot, out->files);
+        out->plans = clone.last_plans();
+        out->seconds = elapsed_seconds(t0);
+      });
+    }
+  }
+
+  pool_.run_all(std::move(tasks));
+
+  // Single-writer phase: merge results in deterministic (backend, group)
+  // order; grouped plans are validated against live residual capacity and
+  // re-solved on the live controller when they no longer fit.
+  for (BackendWork& w : work) {
+    Backend& b = *w.backend;
+    if (w.groups == 1) {
+      TaskResult& r = results[w.first];
+      record_outcome(b, slot, r.files, r.outcome);
+      if (b.postcard != nullptr) track_plans(b, slot, r.plans, r.files);
+      if (b.flowbase != nullptr) {
+        for (const flow::FlowAssignment& a : b.flowbase->last_assignments()) {
+          auto it = std::find_if(r.files.begin(), r.files.end(),
+                                 [&](const net::FileRequest& f) {
+                                   return f.id == a.file_id;
+                                 });
+          if (it != r.files.end()) b.flows[a.file_id] = {*it, a};
+        }
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      solve_latency_.add(r.seconds);
+      b.stats.cost_series.push_back(b.policy->cost_per_interval());
+      continue;
+    }
+    for (int g = 0; g < w.groups; ++g) {
+      TaskResult& r = results[w.first + static_cast<std::size_t>(g)];
+      bool fits = true;
+      std::map<std::pair<int, int>, double> delta;  // (link, slot) -> GB
+      const charging::ChargeState& charge = b.postcard->charge_state();
+      for (const core::FilePlan& plan : r.plans) {
+        for (const core::Transfer& t : plan.transfers) {
+          if (t.storage()) continue;
+          double& d = delta[{t.link, t.slot}];
+          const double capacity = b.postcard->topology().link(t.link).capacity;
+          if (charge.committed(t.link, t.slot) + d + t.volume >
+              capacity + options_.capacity_tolerance) {
+            fits = false;
+            break;
+          }
+          d += t.volume;
+        }
+        if (!fits) break;
+      }
+      if (fits) {
+        b.postcard->commit_plans(r.plans);
+        record_outcome(b, slot, r.files, r.outcome);
+        track_plans(b, slot, r.plans, r.files);
+      } else {
+        // Conflict: the groups' snapshot solves oversubscribed a link.
+        // The writer re-solves this group exactly, against live state.
+        const auto t0 = std::chrono::steady_clock::now();
+        const sim::ScheduleOutcome live = b.postcard->schedule(slot, r.files);
+        const double live_seconds = elapsed_seconds(t0);
+        record_outcome(b, slot, r.files, live);
+        track_plans(b, slot, b.postcard->last_plans(), r.files);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++b.stats.conflict_resolves;
+        solve_latency_.add(live_seconds);
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      solve_latency_.add(r.seconds);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    b.stats.cost_series.push_back(b.policy->cost_per_interval());
+  }
+}
+
+void ControllerRuntime::record_outcome(
+    Backend& b, int slot, const std::vector<net::FileRequest>& batch,
+    const sim::ScheduleOutcome& outcome) {
+  (void)slot;
+  std::unordered_map<int, double> size_of;
+  for (const net::FileRequest& f : batch) size_of[f.id] = f.size;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  b.stats.lp_iterations += outcome.lp_iterations;
+  b.stats.lp_solves += outcome.lp_solves;
+  for (int id : outcome.accepted_ids) {
+    if (is_synthetic(id)) continue;  // fragment volume counted at admission
+    ++b.stats.accepted_files;
+    b.stats.accepted_volume += size_of[id];
+  }
+  for (int id : outcome.rejected_ids) {
+    if (is_synthetic(id)) {
+      // A replan fragment the solver could not place: the original file
+      // cannot finish — loud failure, not a silent drop.
+      ++b.stats.failed_files;
+      b.stats.failed_volume += size_of[id];
+    } else {
+      ++b.stats.rejected_files;
+      b.stats.rejected_volume += size_of[id];
+    }
+  }
+}
+
+void ControllerRuntime::track_plans(Backend& b, int slot,
+                                    const std::vector<core::FilePlan>& plans,
+                                    const std::vector<net::FileRequest>& batch) {
+  for (const core::FilePlan& plan : plans) {
+    const auto it = std::find_if(batch.begin(), batch.end(),
+                                 [&](const net::FileRequest& f) {
+                                   return f.id == plan.file_id;
+                                 });
+    if (it == batch.end()) continue;
+    InFlightPlan entry;
+    entry.request = *it;
+    entry.deadline_slot = slot + it->max_transfer_slots;
+    entry.last_transfer_slot = slot;
+    for (const core::Transfer& t : plan.transfers) {
+      entry.last_transfer_slot = std::max(entry.last_transfer_slot, t.slot);
+    }
+    entry.plan = plan;
+    b.plans[plan.file_id] = std::move(entry);
+  }
+}
+
+void ControllerRuntime::retire_completed(int before_slot) {
+  for (auto& bp : backends_) {
+    Backend& b = *bp;
+    for (auto it = b.plans.begin(); it != b.plans.end();) {
+      if (it->second.last_transfer_slot < before_slot) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (!is_synthetic(it->first)) ++b.stats.delivered_files;
+        b.stats.delivered_volume += it->second.request.size;
+        it = b.plans.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = b.flows.begin(); it != b.flows.end();) {
+      const flow::FlowAssignment& a = it->second.assignment;
+      if (a.start_slot + a.duration <= before_slot) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (!is_synthetic(it->first)) ++b.stats.delivered_files;
+        b.stats.delivered_volume += it->second.request.size;
+        it = b.flows.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ControllerRuntime::flush_in_flight() {
+  retire_completed(std::numeric_limits<int>::max());
+}
+
+void ControllerRuntime::run(int num_slots) {
+  while (next_slot_ < num_slots) tick();
+  flush_in_flight();
+}
+
+RuntimeStats ControllerRuntime::replay(const sim::WorkloadGenerator& workload) {
+  for (int slot = 0; slot < workload.num_slots(); ++slot) {
+    for (const net::FileRequest& f : workload.batch(slot)) ingress_.submit(f);
+    tick();
+  }
+  flush_in_flight();
+  return stats();
+}
+
+RuntimeStats ControllerRuntime::stats() const {
+  RuntimeStats s;
+  s.queue_depth = queue_.depth();
+  s.submitted = ingress_.submitted();
+  s.admitted = ingress_.admitted();
+  s.ingress_rejected = ingress_.rejected();
+  s.ingress_rejected_volume = ingress_.rejected_volume();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  s.slots_processed = slots_processed_;
+  s.link_events = link_events_;
+  s.slot_latency = slot_latency_;
+  s.solve_latency = solve_latency_;
+  s.backends.reserve(backends_.size());
+  for (const auto& b : backends_) s.backends.push_back(b->stats);
+  return s;
+}
+
+}  // namespace postcard::runtime

@@ -1,0 +1,195 @@
+// The online controller runtime: a slot-clocked, event-driven engine that
+// turns the offline batch replay of src/sim into an operational service.
+//
+// Architecture (see DESIGN.md, "Online controller runtime"):
+//
+//   producers --> RequestIngress --> EventQueue <-- fail_link()/...
+//                                        |
+//                                  tick() driver          (single thread)
+//                                   |        |
+//                            WorkerPool   single writer
+//                        (per-policy and  (validates + commits plans,
+//                         split-batch     updates in-flight ledger,
+//                         LP solves)      triggers LinkDown replans)
+//
+// Threading & ownership rules:
+//   * Any number of threads may call RequestIngress::submit() and the
+//     event-injection helpers; they touch only the locked event queue and
+//     the ingress's own capacity view.
+//   * Exactly one driver thread calls tick()/run()/replay(). It owns the
+//     policies, the in-flight ledger and the stats.
+//   * Worker tasks touch either a snapshot clone (Postcard split-batch
+//     mode) or one backend exclusively (per-policy dispatch); the driver
+//     joins all tasks before reading their results, so no result is read
+//     concurrently with its write.
+//   * stats() may be called from any thread; it copies under the stats
+//     lock which the driver takes only while merging, never while solving.
+//
+// Determinism guarantee: with worker_threads == 0 and parallel_groups == 1
+// (or any time no failure events fire and batches arrive in workload
+// order), each backend receives exactly the schedule() call sequence that
+// sim::run_simulation would issue, so its cost series is bit-for-bit
+// identical to the offline replay. With parallel_groups > 1 results are
+// still reproducible for a fixed submission order (groups are partitioned
+// and committed in deterministic order) but generally differ from the
+// joint solve: sub-batches priced against the same snapshot may combine
+// suboptimally, and the single writer re-solves any group whose plans no
+// longer fit live residual capacity (a "conflict resolve").
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/postcard.h"
+#include "flow/baseline.h"
+#include "net/topology.h"
+#include "runtime/event.h"
+#include "runtime/ingress.h"
+#include "runtime/stats.h"
+#include "runtime/worker_pool.h"
+#include "sim/policy.h"
+#include "sim/workload.h"
+
+namespace postcard::runtime {
+
+struct RuntimeOptions {
+  /// 0 = run every solve inline on the driver (deterministic mode).
+  int worker_threads = 0;
+  /// Split each Postcard backend's slot batch into up to this many groups
+  /// solved concurrently against a charge-state snapshot; 1 = the exact
+  /// joint solve of the offline controller.
+  int parallel_groups = 1;
+  /// Replan committed in-flight work invalidated by LinkDown events.
+  bool replan_on_link_down = true;
+  /// Slack allowed when the writer validates group plans against residual
+  /// capacity.
+  double capacity_tolerance = 1e-6;
+  /// Holdings below this volume are dust and not replanned.
+  double volume_epsilon = 1e-9;
+};
+
+class ControllerRuntime {
+ public:
+  ControllerRuntime(net::Topology topology, RuntimeOptions options = {});
+  ~ControllerRuntime();
+
+  ControllerRuntime(const ControllerRuntime&) = delete;
+  ControllerRuntime& operator=(const ControllerRuntime&) = delete;
+
+  // --- Backend registration (before the first tick) ---------------------
+
+  /// Postcard backend: split-batch parallel solving and LinkDown
+  /// replanning via the committed FilePlan ledger. Returns the backend id.
+  int add_postcard_backend(core::PostcardOptions options = {});
+
+  /// Flow-based baseline backend: sequential solve, LinkDown replanning
+  /// via the committed FlowAssignment ledger.
+  int add_flow_backend(flow::FlowBaselineOptions options = {});
+
+  /// Any other SchedulingPolicy: sequential solve; capacity events are
+  /// forwarded when the policy supports them, but committed work is not
+  /// replanned (the generic interface exposes no plan ledger).
+  int add_backend(std::unique_ptr<sim::SchedulingPolicy> policy);
+
+  // --- Event injection (any thread) -------------------------------------
+
+  RequestIngress& ingress() { return ingress_; }
+  EventQueue& events() { return queue_; }
+
+  void fail_link(int slot, int link) { queue_.push(slot, LinkDown{link}); }
+  void restore_link(int slot, int link) { queue_.push(slot, LinkUp{link}); }
+  void change_capacity(int slot, int link, double capacity) {
+    queue_.push(slot, CapacityChange{link, capacity});
+  }
+
+  // --- Driving (one thread) ---------------------------------------------
+
+  /// Processes the next slot: pushes its SlotTick, drains every due event
+  /// in (slot, phase, seq) order, solves the accumulated batch on the
+  /// worker pool and commits the plans under the single writer.
+  void tick();
+
+  /// Ticks slots [current, num_slots) and then flushes the in-flight
+  /// ledger into the delivery stats.
+  void run(int num_slots);
+
+  /// Runtime analogue of sim::run_simulation: feeds every workload batch
+  /// through the ingress at its slot, ticks, flushes, returns stats().
+  RuntimeStats replay(const sim::WorkloadGenerator& workload);
+
+  /// Retires every in-flight plan as delivered (valid committed plans
+  /// complete by construction once no further failure can occur). Called
+  /// by run(); exposed for tests that tick manually.
+  void flush_in_flight();
+
+  // --- Observation ------------------------------------------------------
+
+  RuntimeStats stats() const;
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+  const sim::SchedulingPolicy& policy(int backend) const {
+    return *backends_[static_cast<std::size_t>(backend)]->policy;
+  }
+  int current_slot() const { return next_slot_; }
+
+ private:
+  struct InFlightPlan {
+    net::FileRequest request;
+    int deadline_slot = 0;       // release + T, exclusive
+    int last_transfer_slot = 0;  // delivery completes at the end of this slot
+    core::FilePlan plan;
+  };
+  struct InFlightFlow {
+    net::FileRequest request;
+    flow::FlowAssignment assignment;
+  };
+  struct Backend {
+    std::unique_ptr<sim::SchedulingPolicy> policy;
+    core::PostcardController* postcard = nullptr;  // typed views; at most
+    flow::FlowBaseline* flowbase = nullptr;        // one is non-null
+    BackendStats stats;
+    std::unordered_map<int, InFlightPlan> plans;
+    std::unordered_map<int, InFlightFlow> flows;
+    std::vector<net::FileRequest> replan_batch;  // re-injected this slot
+  };
+
+  void apply_capacity(int link, double capacity);
+  void on_link_down(int slot, int link);
+  void invalidate_plans(Backend& b, int slot, int link);
+  void invalidate_flows(Backend& b, int slot, int link);
+  /// Queues `volume` stranded at `node` for replanning, or records the
+  /// failure when the deadline has no slack left.
+  void requeue_remainder(Backend& b, const net::FileRequest& origin, int node,
+                         double volume, int deadline_slot, int slot);
+  void solve_slot(int slot, const std::vector<net::FileRequest>& arrivals);
+  void record_outcome(Backend& b, int slot,
+                      const std::vector<net::FileRequest>& batch,
+                      const sim::ScheduleOutcome& outcome);
+  void track_plans(Backend& b, int slot,
+                   const std::vector<core::FilePlan>& plans,
+                   const std::vector<net::FileRequest>& batch);
+  void retire_completed(int before_slot);
+  bool is_synthetic(int id) const { return id >= kSyntheticIdBase; }
+
+  static constexpr int kSyntheticIdBase = 1 << 28;
+
+  RuntimeOptions options_;
+  net::Topology live_topology_;          // capacities after events
+  std::vector<double> base_capacity_;    // provisioned capacity per link
+  std::vector<bool> link_down_;
+  EventQueue queue_;
+  RequestIngress ingress_;
+  WorkerPool pool_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  int next_slot_ = 0;
+  int next_synthetic_id_ = kSyntheticIdBase;
+
+  mutable std::mutex stats_mu_;  // guards the merged snapshot fields below
+  int slots_processed_ = 0;
+  long link_events_ = 0;
+  LatencyHistogram slot_latency_;
+  LatencyHistogram solve_latency_;
+};
+
+}  // namespace postcard::runtime

@@ -1,0 +1,37 @@
+#include "runtime/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace postcard::runtime {
+
+void LatencyHistogram::add(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  const double micros = seconds * 1e6;
+  int bucket = 0;
+  if (micros >= 1.0) {
+    bucket = static_cast<int>(std::floor(std::log2(micros)));
+    bucket = std::clamp(bucket, 0, kBuckets - 1);
+  }
+  ++buckets_[static_cast<std::size_t>(bucket)];
+  ++count_;
+  max_seconds_ = std::max(max_seconds_, seconds);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      const double upper_micros = std::ldexp(1.0, b + 1);  // 2^(b+1) us
+      return std::min(upper_micros * 1e-6, max_seconds_);
+    }
+  }
+  return max_seconds_;
+}
+
+}  // namespace postcard::runtime

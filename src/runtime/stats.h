@@ -1,0 +1,72 @@
+// Runtime observability: latency histograms and the RuntimeStats snapshot.
+//
+// RuntimeStats is the seam later PRs hook dashboards and regression gates
+// into; everything the engine knows about its own behaviour — queue depth,
+// admission decisions, solve latency, replans, failures — is surfaced here
+// as plain values so a snapshot is cheap to copy out under the stats lock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace postcard::runtime {
+
+/// Log-scaled latency histogram: bucket b covers [2^b, 2^(b+1)) microseconds,
+/// so the range spans 1 us .. ~134 s. Quantiles report the upper edge of the
+/// bucket containing the requested rank (a conservative estimate).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 27;
+
+  void add(double seconds);
+
+  std::int64_t count() const { return count_; }
+  double max_seconds() const { return max_seconds_; }
+  /// q in [0, 1]; e.g. quantile(0.99) is the p99 latency in seconds.
+  double quantile(double q) const;
+
+ private:
+  std::array<std::int64_t, kBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  double max_seconds_ = 0.0;
+};
+
+/// Per-backend (per registered policy) counters.
+struct BackendStats {
+  std::string name;
+  long accepted_files = 0;
+  double accepted_volume = 0.0;  // GB admitted by the solver
+  long rejected_files = 0;
+  double rejected_volume = 0.0;  // GB the solver could not schedule
+  long delivered_files = 0;      // plans that completed before their deadline
+  double delivered_volume = 0.0;
+  long replans = 0;              // re-solves triggered by LinkDown events
+  double replanned_volume = 0.0;
+  long failed_files = 0;         // accepted, then unsalvageable after failure
+  double failed_volume = 0.0;
+  long conflict_resolves = 0;    // parallel group plans redone by the writer
+  long lp_iterations = 0;
+  int lp_solves = 0;
+  std::vector<double> cost_series;  // cost per interval after each slot
+};
+
+/// Snapshot of the whole engine; see ControllerRuntime::stats().
+struct RuntimeStats {
+  int slots_processed = 0;
+  std::size_t queue_depth = 0;  // events still pending at snapshot time
+  // Ingress admission.
+  long submitted = 0;
+  long admitted = 0;
+  long ingress_rejected = 0;
+  double ingress_rejected_volume = 0.0;
+  // Network dynamics.
+  long link_events = 0;
+  // Latency: whole-slot processing and individual solve tasks.
+  LatencyHistogram slot_latency;
+  LatencyHistogram solve_latency;
+  std::vector<BackendStats> backends;
+};
+
+}  // namespace postcard::runtime

@@ -1,0 +1,58 @@
+#include "runtime/worker_pool.h"
+
+namespace postcard::runtime {
+
+WorkerPool::WorkerPool(int num_threads) {
+  if (num_threads < 0) num_threads = 0;
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::future<void> WorkerPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (threads_.empty()) {
+    packaged();  // inline mode: run now, on the caller
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void WorkerPool::run_all(std::vector<std::function<void()>> tasks) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (auto& task : tasks) futures.push_back(submit(std::move(task)));
+  for (auto& f : futures) f.get();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace postcard::runtime

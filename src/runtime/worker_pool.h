@@ -1,0 +1,51 @@
+// Fixed-size worker pool for per-slot solve dispatch.
+//
+// The runtime creates the pool once and reuses it for every slot; tasks
+// are independent LP solves (per policy backend and per batch group), so
+// the pool needs nothing fancier than a locked queue and a condition
+// variable. A pool with zero threads runs every task inline on the caller
+// in submission order — the deterministic single-threaded mode.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace postcard::runtime {
+
+class WorkerPool {
+ public:
+  /// `num_threads` == 0 builds an inline pool: submit() and run_all()
+  /// execute on the calling thread.
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Schedules `task`; the future resolves when it has run (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs every task and blocks until all have finished. Inline pools
+  /// execute them sequentially in index order.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace postcard::runtime

@@ -40,6 +40,14 @@ class SchedulingPolicy {
   /// Charge state (per-link X_ij and full slot history).
   virtual const charging::ChargeState& charge_state() const = 0;
 
+  /// Applies a live capacity change (runtime LinkDown/LinkUp/
+  /// CapacityChange events; 0 means the link is down). Returns false when
+  /// the policy does not support network dynamics — the runtime then skips
+  /// failure handling for this backend and records the event as unhandled.
+  virtual bool set_link_capacity(int /*link*/, double /*capacity*/) {
+    return false;
+  }
+
   virtual std::string name() const = 0;
 };
 
