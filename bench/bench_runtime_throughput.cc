@@ -120,6 +120,37 @@ void RuntimeReplay(benchmark::State& state) {
   state.counters["conflicts"] = conflicts;
 }
 
+/// RuntimeWarmStart/warm:{0,1} — the same deterministic replay with the
+/// cross-slot basis cache off vs on. The deterministic-mode contract makes
+/// both runs produce bit-identical cost series (asserted in the runtime
+/// warm-start tests), so the delta in mean solve latency is attributable to
+/// the warm starts alone: each accepted basis skips the first master's
+/// phase 1. Counters expose the accept rate so a regression in remap
+/// coverage (warm_accepts collapsing toward zero) shows up here even before
+/// the latency delta does.
+void RuntimeWarmStart(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  const sim::UniformWorkload workload(runtime_params(17));
+  double mean_solve_ms = 0.0;
+  double accepts = 0.0;
+  double colds = 0.0;
+
+  for (auto _ : state) {
+    runtime::ControllerRuntime engine{net::Topology(workload.topology()),
+                                      runtime::RuntimeOptions{}};
+    core::PostcardOptions popts;
+    popts.warm_start = warm;
+    engine.add_postcard_backend(popts);
+    const runtime::RuntimeStats stats = engine.replay(workload);
+    mean_solve_ms = 1e3 * stats.solve_latency.mean_seconds();
+    accepts = static_cast<double>(stats.backends[0].warm_accepts);
+    colds = static_cast<double>(stats.backends[0].cold_starts);
+  }
+  state.counters["mean_solve_ms"] = mean_solve_ms;
+  state.counters["warm_accepts"] = accepts;
+  state.counters["cold_starts"] = colds;
+}
+
 /// Per-policy dispatch: Postcard and the flow baseline ride the same slot
 /// clock; with workers the pool solves them concurrently, so the slot wall
 /// time drops from sum to max of the two solve times.
@@ -150,6 +181,10 @@ BENCHMARK(IngressAdmission)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->UseRealTime();
 BENCHMARK(RuntimeReplay)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+BENCHMARK(RuntimeWarmStart)
+    ->Arg(0)->Arg(1)
+    ->ArgName("warm")
+    ->UseRealTime();
 BENCHMARK(RuntimeMultiPolicy)->Arg(0)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Final verification driver: configure + build, full test suite, a
-# ThreadSanitizer pass over the `runtime`-labeled concurrency tests, and
-# every benchmark binary, teeing into the repository-root output files.
+# ThreadSanitizer pass over the `runtime`-labeled concurrency tests, an
+# ASan+UBSan pass over the `charging` and `runtime` labels, and every
+# benchmark binary, teeing into the repository-root output files.
 #
 # JOBS controls build/test parallelism (default: all cores).
 set -euo pipefail
@@ -19,6 +20,14 @@ cmake --preset tsan
 cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan -L runtime --output-on-failure -j "${JOBS}" \
   2>&1 | tee -a test_output.txt
+
+# Memory-safety pass: ASan + UBSan (fail-fast on UB) over the charging
+# ledgers and the runtime engine — the two subsystems with hand-rolled
+# pointer structures (the order-statistic treap) and cross-thread handoff.
+cmake --preset asan
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan -L "charging|runtime" --output-on-failure \
+  -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

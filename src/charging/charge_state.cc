@@ -20,12 +20,9 @@ void ChargeState::uncommit(int link, int slot, double volume) {
   recorder_.reduce(link, slot, volume);
   // X_ij is the running maximum of the record; with one slot lowered the
   // maximum over the remaining series is exact (past slots are untouched
-  // by contract, so real traffic maxima survive).
-  double charged = 0.0;
-  for (int n = 0; n < recorder_.num_slots(); ++n) {
-    charged = std::max(charged, recorder_.volume(link, n));
-  }
-  charged_[link] = charged;
+  // by contract, so real traffic maxima survive). The recorder's
+  // order-statistic tree answers it in O(log T) instead of a rescan.
+  charged_[link] = recorder_.max_volume(link);
 }
 
 double ChargeState::cost_per_interval(const net::Topology& topology) const {

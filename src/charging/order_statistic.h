@@ -1,0 +1,184 @@
+// Order-statistic multiset of per-slot traffic volumes.
+//
+// The q-th percentile charge of a link is a rank query over its per-slot
+// volume series. Re-sorting the series per query is O(T log T); this
+// structure keeps one entry per materialized slot in a balanced tree with
+// subtree counts, so updating a slot's volume (record/reduce) and answering
+// "k-th smallest volume" are both O(log T).
+//
+// Implementation: a treap keyed by (volume, slot) — the slot tiebreaker
+// makes keys unique — with heap priorities derived deterministically from
+// the key (splitmix64), so tree shape, and therefore any floating-point
+// summaries computed by traversal order, are reproducible run to run.
+// Nodes live in a pooled vector with a free list: no per-node allocation,
+// index-based links keep the working set compact.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace postcard::charging {
+
+class OrderStatisticTree {
+ public:
+  /// Inserts the entry (value, tag). Keys must be unique: inserting a
+  /// (value, tag) pair that is already present is undefined.
+  void insert(double value, int tag) { root_ = insert_at(root_, make_node(value, tag)); }
+
+  /// Removes the entry (value, tag); returns false when absent.
+  bool erase(double value, int tag) {
+    bool erased = false;
+    root_ = erase_at(root_, value, tag, &erased);
+    return erased;
+  }
+
+  int size() const { return count(root_); }
+  bool empty() const { return root_ < 0; }
+
+  /// k-th smallest value, 1-based; k must be in [1, size()].
+  double kth(int k) const {
+    int node = root_;
+    while (true) {
+      const int left = count(nodes_[node].left);
+      if (k <= left) {
+        node = nodes_[node].left;
+      } else if (k == left + 1) {
+        return nodes_[node].value;
+      } else {
+        k -= left + 1;
+        node = nodes_[node].right;
+      }
+    }
+  }
+
+  /// Largest value, or 0.0 when empty (volumes are non-negative, so the
+  /// maximum over an all-implicit-zero series is zero).
+  double max() const {
+    if (root_ < 0) return 0.0;
+    int node = root_;
+    while (nodes_[node].right >= 0) node = nodes_[node].right;
+    return nodes_[node].value;
+  }
+
+ private:
+  struct Node {
+    double value;
+    int tag;
+    std::uint64_t prio;
+    int left = -1;
+    int right = -1;
+    int count = 1;
+  };
+
+  static std::uint64_t priority(double value, int tag) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    // splitmix64 over the mixed key: deterministic, well-spread priorities.
+    std::uint64_t z = bits ^ (static_cast<std::uint64_t>(tag) * 0x9e3779b97f4a7c15ULL);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static bool key_less(double va, int ta, double vb, int tb) {
+    if (va != vb) return va < vb;
+    return ta < tb;
+  }
+
+  int count(int node) const { return node < 0 ? 0 : nodes_[node].count; }
+
+  void pull(int node) {
+    nodes_[node].count = 1 + count(nodes_[node].left) + count(nodes_[node].right);
+  }
+
+  int make_node(double value, int tag) {
+    int idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      nodes_[idx] = Node{};
+    } else {
+      idx = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    nodes_[idx].value = value;
+    nodes_[idx].tag = tag;
+    nodes_[idx].prio = priority(value, tag);
+    nodes_[idx].left = nodes_[idx].right = -1;
+    nodes_[idx].count = 1;
+    return idx;
+  }
+
+  /// Splits `node` into (< key, >= key) subtrees.
+  void split(int node, double value, int tag, int* lo, int* hi) {
+    if (node < 0) {
+      *lo = *hi = -1;
+      return;
+    }
+    if (key_less(nodes_[node].value, nodes_[node].tag, value, tag)) {
+      split(nodes_[node].right, value, tag, &nodes_[node].right, hi);
+      *lo = node;
+    } else {
+      split(nodes_[node].left, value, tag, lo, &nodes_[node].left);
+      *hi = node;
+    }
+    pull(node);
+  }
+
+  int insert_at(int node, int fresh) {
+    if (node < 0) return fresh;
+    if (nodes_[fresh].prio > nodes_[node].prio) {
+      split(node, nodes_[fresh].value, nodes_[fresh].tag, &nodes_[fresh].left,
+            &nodes_[fresh].right);
+      pull(fresh);
+      return fresh;
+    }
+    if (key_less(nodes_[fresh].value, nodes_[fresh].tag, nodes_[node].value,
+                 nodes_[node].tag)) {
+      nodes_[node].left = insert_at(nodes_[node].left, fresh);
+    } else {
+      nodes_[node].right = insert_at(nodes_[node].right, fresh);
+    }
+    pull(node);
+    return node;
+  }
+
+  int merge(int lo, int hi) {
+    if (lo < 0) return hi;
+    if (hi < 0) return lo;
+    if (nodes_[lo].prio > nodes_[hi].prio) {
+      nodes_[lo].right = merge(nodes_[lo].right, hi);
+      pull(lo);
+      return lo;
+    }
+    nodes_[hi].left = merge(lo, nodes_[hi].left);
+    pull(hi);
+    return hi;
+  }
+
+  int erase_at(int node, double value, int tag, bool* erased) {
+    if (node < 0) return -1;
+    if (nodes_[node].value == value && nodes_[node].tag == tag) {
+      *erased = true;
+      const int joined = merge(nodes_[node].left, nodes_[node].right);
+      free_.push_back(node);
+      return joined;
+    }
+    if (key_less(value, tag, nodes_[node].value, nodes_[node].tag)) {
+      nodes_[node].left = erase_at(nodes_[node].left, value, tag, erased);
+    } else {
+      nodes_[node].right = erase_at(nodes_[node].right, value, tag, erased);
+    }
+    pull(node);
+    return node;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<int> free_;
+  int root_ = -1;
+};
+
+}  // namespace postcard::charging

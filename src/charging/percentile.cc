@@ -6,18 +6,38 @@
 
 namespace postcard::charging {
 
+namespace {
+// Rounding slack for reduce(): commits and uncommits of the same plan can
+// disagree by accumulation error, never by a meaningful volume.
+constexpr double kReduceEps = 1e-9;
+}  // namespace
+
 PercentileRecorder::PercentileRecorder(int num_links) {
   if (num_links < 0) throw std::invalid_argument("negative link count");
   series_.resize(static_cast<std::size_t>(num_links));
+  order_.resize(static_cast<std::size_t>(num_links));
+}
+
+void PercentileRecorder::set_volume(int link, int slot, double value) {
+  auto& s = series_[link];
+  if (slot >= static_cast<int>(s.size())) {
+    // Materialize the gap: every stored slot owns one tree entry, so rank
+    // queries only need to account for the never-touched tail implicitly.
+    for (int n = static_cast<int>(s.size()); n <= slot; ++n) {
+      order_[link].insert(0.0, n);
+    }
+    s.resize(static_cast<std::size_t>(slot) + 1, 0.0);
+  }
+  order_[link].erase(s[slot], slot);
+  s[slot] = value;
+  order_[link].insert(value, slot);
 }
 
 void PercentileRecorder::record(int link, int slot, double volume) {
   if (link < 0 || link >= num_links()) throw std::out_of_range("bad link");
   if (slot < 0) throw std::out_of_range("negative slot");
   if (volume < 0.0) throw std::invalid_argument("negative volume");
-  auto& s = series_[link];
-  if (slot >= static_cast<int>(s.size())) s.resize(slot + 1, 0.0);
-  s[slot] += volume;
+  set_volume(link, slot, this->volume(link, slot) + volume);
   num_slots_ = std::max(num_slots_, slot + 1);
 }
 
@@ -25,9 +45,17 @@ void PercentileRecorder::reduce(int link, int slot, double volume) {
   if (link < 0 || link >= num_links()) throw std::out_of_range("bad link");
   if (slot < 0) throw std::out_of_range("negative slot");
   if (volume < 0.0) throw std::invalid_argument("negative volume");
-  auto& s = series_[link];
-  if (slot >= static_cast<int>(s.size())) return;  // nothing recorded
-  s[slot] = std::max(0.0, s[slot] - volume);
+  if (volume == 0.0) return;
+  const double recorded = this->volume(link, slot);
+  const double residual = recorded - volume;
+  const double slack = kReduceEps * (1.0 + recorded + volume);
+  if (residual < -slack) {
+    // More volume uncommitted than was ever recorded: the rollback path and
+    // the commit ledger disagree. Loud accounting, not a silent clamp.
+    ++reduce_violations_;
+  }
+  if (slot >= static_cast<int>(series_[link].size())) return;  // stays zero
+  set_volume(link, slot, std::max(0.0, residual));
 }
 
 double PercentileRecorder::volume(int link, int slot) const {
@@ -36,21 +64,49 @@ double PercentileRecorder::volume(int link, int slot) const {
   return s[slot];
 }
 
+int PercentileRecorder::percentile_rank(double q, int period_slots) {
+  // Paper's convention (Sec. II-A): the k-th sorted interval with
+  // k = q% * period; e.g. 95% of a 1-year period is the 99864-th interval.
+  return static_cast<int>(std::floor(q / 100.0 * period_slots));
+}
+
 double PercentileRecorder::charged_volume(int link, double q,
                                           int period_slots) const {
   if (q <= 0.0 || q > 100.0) throw std::invalid_argument("q must be in (0, 100]");
   if (period_slots < num_slots_) {
     throw std::invalid_argument("period shorter than observed slots");
   }
-  if (period_slots == 0) return 0.0;
+  double charged = 0.0;
+  const int k = percentile_rank(q, period_slots);
+  if (k > 0) {
+    // The sorted period is `implicit` untouched zero slots followed by the
+    // stored slots in value order; ranks inside the implicit prefix charge
+    // zero without consulting the tree.
+    const int stored = order_[link].size();
+    const int implicit = period_slots - stored;
+    charged = k <= implicit ? 0.0 : order_[link].kth(k - implicit);
+  }
+  if (cross_check_) {
+    const double oracle = charged_volume_sorted(link, q, period_slots);
+    if (charged != oracle) {
+      throw std::logic_error("incremental percentile diverged from the sort oracle");
+    }
+  }
+  return charged;
+}
+
+double PercentileRecorder::charged_volume_sorted(int link, double q,
+                                                 int period_slots) const {
+  if (q <= 0.0 || q > 100.0) throw std::invalid_argument("q must be in (0, 100]");
+  if (period_slots < num_slots_) {
+    throw std::invalid_argument("period shorter than observed slots");
+  }
+  const int k = percentile_rank(q, period_slots);
+  if (k == 0) return 0.0;
   std::vector<double> sorted(series_[link]);
-  sorted.resize(period_slots, 0.0);  // quiet slots carry zero traffic
+  sorted.resize(static_cast<std::size_t>(period_slots), 0.0);  // quiet slots
   std::sort(sorted.begin(), sorted.end());
-  // Paper's convention (Sec. II-A): the k-th sorted interval with
-  // k = q% * period; e.g. 95% of a 1-year period is the 99864-th interval.
-  int k = static_cast<int>(std::floor(q / 100.0 * period_slots));
-  k = std::clamp(k, 1, period_slots);
-  return sorted[k - 1];
+  return sorted[static_cast<std::size_t>(k) - 1];
 }
 
 double PercentileRecorder::total_cost(const std::vector<CostFunction>& link_costs,

@@ -7,11 +7,19 @@
 //
 // The recorder keeps the full per-slot series so the same run can be
 // accounted under several percentiles ex post (percentile ablation bench).
+// Alongside the raw series it maintains a per-link order-statistic tree
+// (order_statistic.h), so charged_volume() is an O(log T) rank query and
+// the rollback path's max-recompute is O(log T) instead of a full rescan.
+// The historical copy+sort implementation stays available as
+// charged_volume_sorted(); set_cross_check(true) makes every incremental
+// query verify itself against it (tests and the sanitizer suite run with
+// the cross-check on).
 #pragma once
 
 #include <vector>
 
 #include "charging/cost_function.h"
+#include "charging/order_statistic.h"
 
 namespace postcard::charging {
 
@@ -24,11 +32,20 @@ class PercentileRecorder {
   /// Adds `volume` to link `link`'s traffic during slot `slot`.
   void record(int link, int slot, double volume);
 
-  /// Removes up to `volume` from link `link`'s record during `slot`
-  /// (clamped at zero). Only meaningful for *future* slots whose planned
-  /// traffic never flowed — the runtime cancels the committed tail of a
-  /// plan when a link failure invalidates it before execution.
+  /// Removes `volume` from link `link`'s record during `slot`. Only
+  /// meaningful for *future* slots whose planned traffic never flowed — the
+  /// runtime cancels the committed tail of a plan when a link failure
+  /// invalidates it before execution. The subtraction is exact: a result
+  /// below zero by more than a rounding epsilon means the caller uncommitted
+  /// volume that was never recorded (an accounting mismatch from the
+  /// rollback path); the mismatch is counted in reduce_violations() and the
+  /// slot is floored at zero so downstream charging stays well defined.
   void reduce(int link, int slot, double volume);
+
+  /// Accounting mismatches observed by reduce(): reductions that would have
+  /// driven a slot's volume negative beyond rounding error. Always zero in
+  /// a correct run; a nonzero value is a bug in commit/uncommit pairing.
+  long reduce_violations() const { return reduce_violations_; }
 
   /// Number of slots observed so far (max recorded slot + 1).
   int num_slots() const { return num_slots_; }
@@ -37,9 +54,19 @@ class PercentileRecorder {
   /// Volume of link `link` during `slot` (zero if never recorded).
   double volume(int link, int slot) const;
 
+  /// Largest per-slot volume recorded on `link` (zero when idle). O(log T).
+  double max_volume(int link) const { return order_[link].max(); }
+
   /// Charging volume of `link` under the q-th percentile scheme, computed
   /// over `period_slots` intervals (>= num_slots(); unrecorded slots are
   /// zero-traffic, matching a mostly idle charging period). q in (0, 100].
+  ///
+  /// Convention (Sec. II-A): the k-th sorted interval with k = floor(q% *
+  /// period); e.g. 95% of a 1-year period is the 99864-th interval. When q
+  /// is small enough that q% of the period rounds down to less than one
+  /// whole interval (k == 0) there is no interval to charge and the charged
+  /// volume is zero — the percentile lies strictly below the first sorted
+  /// sample, it does not round up to the minimum busy slot.
   double charged_volume(int link, double q, int period_slots) const;
 
   /// Convenience: q-th percentile over exactly the observed slots.
@@ -47,13 +74,30 @@ class PercentileRecorder {
     return charged_volume(link, q, num_slots_);
   }
 
+  /// Reference implementation of charged_volume(): copies the series and
+  /// sorts (O(T log T)). Kept as the oracle the incremental order-statistic
+  /// path is checked against.
+  double charged_volume_sorted(int link, double q, int period_slots) const;
+
+  /// When enabled, every charged_volume() call also runs the copy+sort
+  /// oracle and throws std::logic_error on disagreement.
+  void set_cross_check(bool on) { cross_check_ = on; }
+
   /// Total money across links: sum_l cost_fn(l).evaluate(charged_volume).
   double total_cost(const std::vector<CostFunction>& link_costs, double q,
                     int period_slots) const;
 
  private:
-  std::vector<std::vector<double>> series_;  // [link][slot]
+  /// Rewrites link's slot volume to `value`, keeping series and tree in step.
+  void set_volume(int link, int slot, double value);
+
+  static int percentile_rank(double q, int period_slots);
+
+  std::vector<std::vector<double>> series_;     // [link][slot]
+  std::vector<OrderStatisticTree> order_;       // one entry per stored slot
   int num_slots_ = 0;
+  long reduce_violations_ = 0;
+  bool cross_check_ = false;
 };
 
 }  // namespace postcard::charging

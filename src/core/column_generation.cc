@@ -19,11 +19,98 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kFlowEps = 1e-7;
 }  // namespace
 
+namespace {
+
+/// Builds the first-round warm basis from a prior slot's cache. The default
+/// (canonical) remap reproduces the basis cold phase 1 terminates in on the
+/// round-0 master — every z_k basic at F_k in its demand row, every other
+/// row on its own logical, X at lower bound — so accepting it changes no
+/// downstream pivot, only skips the phase-1 work. With `carry`, surviving
+/// (link, absolute slot) capacity/epigraph rows additionally restore their
+/// cached basic X variable and logical status.
+lp::RevisedSimplex::WarmStart remap_warm_basis(
+    const MasterWarmCache& cache, const lp::LpModel& master,
+    const net::TimeExpandedGraph& graph, int slot,
+    const std::vector<int>& xv, const std::vector<int>& zv,
+    const std::vector<int>& demand_row, const std::vector<int>& cap_row,
+    const std::vector<int>& chg_row, bool carry) {
+  using WS = lp::RevisedSimplex::WarmStart;
+  WS ws;
+  const int rows = master.num_constraints();
+  ws.col_status.assign(static_cast<std::size_t>(master.num_variables()),
+                       WS::kAtLower);
+  ws.row_status.assign(static_cast<std::size_t>(rows), WS::kBasic);
+  ws.basis.resize(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) ws.basis[i] = -(i + 1);
+  // Demand rows are new every slot: phase 1 always ends with z_k basic
+  // (the only column in an equality row violated at the all-lower point).
+  for (std::size_t k = 0; k < zv.size(); ++k) {
+    ws.col_status[zv[k]] = WS::kBasic;
+    ws.row_status[demand_row[k]] = WS::kAtLower;  // fixed logical (rl == ru)
+    ws.basis[demand_row[k]] = zv[k];
+  }
+  if (!carry) return ws;
+  // Carry mode: restore surviving capacity/epigraph row states. An X
+  // variable can be basic in at most one row; first surviving key wins.
+  std::vector<char> x_placed(xv.size(), 0);
+  auto place = [&](int row, int cached_basic, signed char cached_status) {
+    if (cached_basic < 0 || cached_basic >= static_cast<int>(xv.size())) {
+      return;  // kLogical / kDropped / corrupt: keep the logical basic
+    }
+    if (x_placed[cached_basic] || cached_status == WS::kBasic) return;
+    x_placed[cached_basic] = 1;
+    ws.col_status[xv[cached_basic]] = WS::kBasic;
+    ws.basis[row] = xv[cached_basic];
+    ws.row_status[row] = cached_status;
+  };
+  for (int a = 0; a < graph.num_arcs(); ++a) {
+    if (cap_row[a] < 0) continue;
+    const net::TimeArc& arc = graph.arcs()[a];
+    const auto it =
+        cache.arc_rows.find({arc.link_index, slot + arc.layer});
+    if (it == cache.arc_rows.end()) continue;
+    place(cap_row[a], it->second.cap_basic, it->second.cap_status);
+    place(chg_row[a], it->second.chg_basic, it->second.chg_status);
+  }
+  return ws;
+}
+
+/// Captures the final master basis into the cache, keyed by the (link,
+/// absolute slot) identity of each capacity/epigraph row pair.
+void capture_warm_basis(const lp::RevisedSimplex::WarmStart& warm,
+                        const net::TimeExpandedGraph& graph, int slot,
+                        int num_links, const std::vector<int>& cap_row,
+                        const std::vector<int>& chg_row,
+                        MasterWarmCache* cache) {
+  cache->arc_rows.clear();
+  auto classify = [&](int row) {
+    const int b = warm.basis[row];
+    if (b < 0) return MasterWarmCache::kLogical;
+    if (b < num_links) return b;  // X columns are the first num_links vars
+    return MasterWarmCache::kDropped;  // z or path column: gone next slot
+  };
+  for (int a = 0; a < graph.num_arcs(); ++a) {
+    if (cap_row[a] < 0) continue;
+    const net::TimeArc& arc = graph.arcs()[a];
+    MasterWarmCache::ArcRowState st;
+    st.cap_basic = classify(cap_row[a]);
+    st.chg_basic = classify(chg_row[a]);
+    st.cap_status = warm.row_status[cap_row[a]];
+    st.chg_status = warm.row_status[chg_row[a]];
+    cache->arc_rows.insert_or_assign({arc.link_index, slot + arc.layer}, st);
+  }
+  cache->valid = true;
+  ++cache->captured_solves;
+}
+
+}  // namespace
+
 PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
                                         const charging::ChargeState& charge,
                                         int slot,
                                         const std::vector<net::FileRequest>& files,
-                                        const PathSolveOptions& options) {
+                                        const PathSolveOptions& options,
+                                        MasterWarmCache* warm_cache) {
   PathSolveResult result;
   if (files.empty()) {
     result.ok = true;
@@ -99,6 +186,11 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   }
   lp::RevisedSimplex simplex(simplex_opts);
   lp::RevisedSimplex::WarmStart warm;  // reused across pricing rounds
+  if (options.cross_slot_warm && warm_cache && warm_cache->valid) {
+    warm = remap_warm_basis(*warm_cache, master, graph, slot, xv, zv,
+                            demand_row, cap_row, chg_row, options.carry_basis);
+    result.warm_attempted = true;
+  }
 
   lp::Solution sol;
   linalg::Vector incumbent_duals;  // duals at the best Lagrangian bound
@@ -115,6 +207,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     // Direct simplex call (no presolve): exact duals for every master row
     // plus a warm start from the previous round's basis.
     sol = simplex.solve(master, warm.basis.empty() ? nullptr : &warm);
+    if (result.rounds == 0) result.warm_accepted = sol.warm_started;
     warm = simplex.extract_warm_start();
     result.lp_iterations += sol.iterations;
     result.master_status = sol.status;
@@ -228,6 +321,13 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     }
   }
   result.path_columns = static_cast<int>(columns.size());
+  // Capture the final basis for the next slot. A failed round leaves the
+  // cache untouched (it is only a hint); an artificial still basic makes
+  // extract_warm_start return an empty basis, which we also skip.
+  if (options.cross_slot_warm && warm_cache && !warm.basis.empty()) {
+    capture_warm_basis(warm, graph, slot, topology.num_links(), cap_row,
+                       chg_row, warm_cache);
+  }
 
   // ---- Extract plans and the objective.
   result.ok = true;

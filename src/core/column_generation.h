@@ -28,16 +28,56 @@
 // the direct formulation).
 #pragma once
 
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "charging/charge_state.h"
 #include "core/formulation.h"
 #include "core/plan.h"
+#include "lp/simplex.h"
 #include "lp/solver.h"
 #include "net/file_request.h"
 #include "net/topology.h"
 
 namespace postcard::core {
+
+/// Cross-slot warm-start cache for the restricted master.
+///
+/// The controller solves a nearly identical master every slot: the X (one
+/// per link) columns persist, while the demand rows, z columns and path
+/// columns are rebuilt for the new batch, and the capacity/epigraph row
+/// pairs shift with the horizon window. The cache captures the final basis
+/// of a slot's last master solve keyed by what survives — the (link,
+/// absolute slot) identity of every capacity/epigraph row pair — so the
+/// next slot's first master solve can be seeded without a phase 1:
+///
+///   * demand rows are new: each file's z column is made basic at F_k,
+///     which is exactly the basis cold phase 1 terminates in;
+///   * capacity/epigraph rows whose (link, absolute slot) key survives the
+///     window shift keep their logical statuses (carry mode only), rows
+///     whose basic variable was a dropped per-slot column (z or path)
+///     revert to their own logical;
+///   * rows that expired out of the window are dropped, new rows default.
+///
+/// The remapped snapshot is only a hint: RevisedSimplex verifies it
+/// (nonsingular + primal feasible) and falls back to a cold start
+/// otherwise, so a stale cache can never change the optimum.
+struct MasterWarmCache {
+  static constexpr int kLogical = -1;  // a row logical was basic here
+  static constexpr int kDropped = -2;  // a per-slot column (z/path) was basic
+
+  struct ArcRowState {
+    int cap_basic = kLogical;    // kLogical, kDropped, or >= 0: X of that link
+    int chg_basic = kLogical;
+    signed char cap_status = 0;  // row-logical status (WarmStart::k* codes)
+    signed char chg_status = 0;
+  };
+
+  bool valid = false;
+  long captured_solves = 0;  // diagnostics: snapshots taken so far
+  std::map<std::pair<int, int>, ArcRowState> arc_rows;  // (link, abs slot)
+};
 
 struct PathSolveOptions {
   lp::SolverOptions master_lp;
@@ -55,6 +95,18 @@ struct PathSolveOptions {
   // remaining columns only re-express alternative optima. 0 disables.
   int stall_rounds = 40;
   double stall_tol = 1e-9;
+  // Cross-slot warm starts: seed the first master solve from a caller-kept
+  // MasterWarmCache (no-op without one). The default canonical remap
+  // reproduces the basis cold phase 1 terminates in, so the solve
+  // trajectory — and every downstream plan — is bit-for-bit identical to a
+  // cold start, minus the phase-1 work.
+  bool cross_slot_warm = true;
+  // Carry surviving (link, slot) row statuses and basic X variables from
+  // the cached basis instead of the canonical remap. Starts closer to the
+  // optimum on slowly-drifting instances but may land degenerate masters
+  // on a different alternate optimum than a cold start would (identical
+  // per-slot objective, possibly different plans).
+  bool carry_basis = false;
 };
 
 struct PathSolveResult {
@@ -68,14 +120,23 @@ struct PathSolveResult {
   int path_columns = 0;
   double lower_bound = 0.0;    // Lagrangian bound on the LP optimum
   lp::SolveStatus master_status = lp::SolveStatus::kNumericalFailure;
+  // Cross-slot warm-start outcome of the first master solve: attempted is
+  // true when a valid cache was remapped in, accepted when the solver's
+  // verification kept it (vs. falling back to a cold start).
+  bool warm_attempted = false;
+  bool warm_accepted = false;
 };
 
 /// Solves the slot-t Postcard problem for `files` against `charge` by column
-/// generation. Read-only with respect to the charge state.
+/// generation. Read-only with respect to the charge state. When
+/// `warm_cache` is supplied, the first master solve is seeded from it (see
+/// MasterWarmCache) and the final basis is captured back into it for the
+/// next slot.
 PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
                                         const charging::ChargeState& charge,
                                         int slot,
                                         const std::vector<net::FileRequest>& files,
-                                        const PathSolveOptions& options = {});
+                                        const PathSolveOptions& options = {},
+                                        MasterWarmCache* warm_cache = nullptr);
 
 }  // namespace postcard::core

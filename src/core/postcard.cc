@@ -94,10 +94,18 @@ bool PostcardController::try_schedule(int slot,
     popts.allow_storage = options_.formulation.allow_storage;
     popts.relative_gap = options_.cg_relative_gap;
     popts.stall_rounds = options_.cg_stall_rounds;
-    const PathSolveResult r =
-        solve_postcard_by_paths(topology_, charge_, slot, files, popts);
+    popts.cross_slot_warm = options_.warm_start;
+    popts.carry_basis = options_.warm_start_carry_basis;
+    const PathSolveResult r = solve_postcard_by_paths(
+        topology_, charge_, slot, files, popts,
+        options_.warm_start ? &warm_cache_ : nullptr);
     outcome.lp_iterations += r.lp_iterations;
     ++outcome.lp_solves;
+    if (r.warm_attempted && r.warm_accepted) {
+      ++outcome.warm_accepts;
+    } else {
+      ++outcome.cold_starts;
+    }
     if (!r.ok) return false;
     if (!r.feasible) {
       for (std::size_t k = 0; k < files.size(); ++k) {
@@ -115,6 +123,7 @@ bool PostcardController::try_schedule(int slot,
   const lp::Solution solution = lp::solve(formulation.model(), options_.lp);
   outcome.lp_iterations += solution.iterations;
   ++outcome.lp_solves;
+  ++outcome.cold_starts;  // the direct formulation has no cross-slot cache
   if (!solution.optimal()) return false;
   plans = formulation.extract_plans(solution);
   return true;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "charging/charge_state.h"
+#include "core/column_generation.h"
 #include "core/formulation.h"
 #include "core/plan.h"
 #include "lp/solver.h"
@@ -38,6 +39,16 @@ struct PostcardOptions {
   // Column-generation stopping knobs (see PathSolveOptions).
   double cg_relative_gap = 1e-4;
   int cg_stall_rounds = 30;
+  // Keep a basis snapshot across slot boundaries and seed each slot's first
+  // master solve from it (see MasterWarmCache). The default canonical remap
+  // is trajectory-identical to a cold start — same plans bit for bit —
+  // while skipping phase 1, so it is safe to leave on everywhere.
+  bool warm_start = true;
+  // Carry surviving row/X statuses from the cached basis instead of the
+  // canonical remap (PathSolveOptions::carry_basis). Same per-slot optimum,
+  // possibly a different optimal basis on degenerate masters — off by
+  // default because deterministic replays must match cold-start plans.
+  bool warm_start_carry_basis = false;
 };
 
 class PostcardController : public sim::SchedulingPolicy {
@@ -83,6 +94,13 @@ class PostcardController : public sim::SchedulingPolicy {
   /// before that traffic flowed.
   void uncommit_future(const FilePlan& plan, int from_slot);
 
+  /// Cross-slot warm-start cache (diagnostics, and the runtime's per-group
+  /// cache hand-off: snapshot clones are transient, so the runtime moves
+  /// the cache out of a finished clone and back into the next slot's).
+  const MasterWarmCache& warm_cache() const { return warm_cache_; }
+  void set_warm_cache(MasterWarmCache cache) { warm_cache_ = std::move(cache); }
+  MasterWarmCache release_warm_cache() { return std::move(warm_cache_); }
+
  private:
   /// Attempts to schedule the whole batch. On infeasibility, fills
   /// `unroutable_ids` with the files the column-generation master could not
@@ -96,6 +114,7 @@ class PostcardController : public sim::SchedulingPolicy {
   PostcardOptions options_;
   charging::ChargeState charge_;
   std::vector<FilePlan> last_plans_;
+  MasterWarmCache warm_cache_;
 };
 
 }  // namespace postcard::core

@@ -99,6 +99,10 @@ void RevisedSimplex::cold_start() {
 }
 
 bool RevisedSimplex::try_warm_start(const WarmStart& warm) {
+  static_assert(static_cast<signed char>(VarStatus::kBasic) == WarmStart::kBasic &&
+                static_cast<signed char>(VarStatus::kAtLower) == WarmStart::kAtLower &&
+                static_cast<signed char>(VarStatus::kAtUpper) == WarmStart::kAtUpper &&
+                static_cast<signed char>(VarStatus::kFree) == WarmStart::kFree);
   if (warm.basis.size() != static_cast<std::size_t>(m_)) return false;
   if (warm.row_status.size() != static_cast<std::size_t>(m_)) return false;
   if (warm.col_status.size() > static_cast<std::size_t>(n_)) return false;
@@ -170,6 +174,22 @@ bool RevisedSimplex::try_warm_start(const WarmStart& warm) {
   return true;
 }
 
+bool RevisedSimplex::warm_point_feasible() {
+  recompute_basic_values();
+  for (int i = 0; i < m_; ++i) {
+    const int j = basis_[i];
+    const double lo = lower_[j], hi = upper_[j];
+    const double scale =
+        1.0 + std::max(std::isfinite(lo) ? std::abs(lo) : 0.0,
+                       std::isfinite(hi) ? std::abs(hi) : 0.0);
+    if (x_[j] < lo - options_.feas_tol * scale ||
+        x_[j] > hi + options_.feas_tol * scale) {
+      return false;
+    }
+  }
+  return true;
+}
+
 RevisedSimplex::WarmStart RevisedSimplex::extract_warm_start() const {
   WarmStart w;
   if (basis_.empty() && m_ > 0) return w;
@@ -220,9 +240,15 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm) {
     upper_[n_ + i] = model.row_upper()[i];
   }
 
+  // A warm basis is accepted only after full verification: the statuses
+  // must restore (try_warm_start), the restored basis must be nonsingular
+  // (refactorize), and the implied basic point must be primal feasible —
+  // phase 1 is skipped for warm starts, so an out-of-bounds basic variable
+  // would otherwise corrupt the phase 2 invariant silently. Any failure
+  // falls back to the cold start.
   bool started = false;
   if (warm && !warm->basis.empty()) {
-    started = try_warm_start(*warm) && refactorize();
+    started = try_warm_start(*warm) && refactorize() && warm_point_feasible();
   }
   if (!started) {
     cold_start();
@@ -244,6 +270,7 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm) {
   work_rhs_.assign(static_cast<std::size_t>(m_), 0.0);
 
   Solution result;
+  result.warm_started = started;
   stat_degenerate_ = stat_flips_ = 0;
   recompute_basic_values();
 
@@ -289,7 +316,9 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm) {
   // ---- Phase 1: drive the artificials to zero.
   if (!art_row_.empty()) {
     for (std::size_t k = 0; k < art_row_.size(); ++k) base_cost_[n_ + m_ + k] = 1.0;
+    phase1_stop_when_feasible_ = true;
     const SolveStatus s1 = run_perturbed_phase(0x9e3779b9u);
+    phase1_stop_when_feasible_ = false;
     if (s1 == SolveStatus::kUnbounded || s1 == SolveStatus::kNumericalFailure) {
       return finish(SolveStatus::kNumericalFailure);
     }
@@ -310,6 +339,15 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm) {
       base_cost_[aj] = 0.0;
       if (vstat_[aj] != VarStatus::kBasic) x_[aj] = 0.0;
     }
+    // Normalize the numerical state at the phase boundary: a fresh
+    // factorization of the end-of-phase-1 basis and basic values recomputed
+    // from it, exactly the state a verified warm start enters phase 2 with.
+    // Without this, phase 2 starts from product-form-updated LU data and
+    // iteratively-updated x, and warm-started solves diverge from cold ones
+    // in the last ulp — breaking the cross-slot guarantee that warm starts
+    // replay cold trajectories bit for bit.
+    if (!refactorize()) return finish(SolveStatus::kNumericalFailure);
+    recompute_basic_values();
   }
 
   // ---- Phase 2: true objective.
@@ -470,8 +508,13 @@ RevisedSimplex::StepResult RevisedSimplex::iterate() {
 
   if (leave_pos < 0 && !std::isfinite(t_flip)) return StepResult::kUnbounded;
 
-  // Bound flip when it binds before the best pivot candidate.
-  if (leave_pos < 0 || t_flip <= t_exact_chosen) {
+  // Bound flip when it binds strictly before the best pivot candidate. On
+  // an exact tie the pivot wins: in phase 1 the tie is structural (an
+  // entering variable whose range equals the row's infeasibility), and
+  // flipping would leave the artificial basic at zero — a different end
+  // basis than the one warm starts reconstruct, which would break the
+  // cold/warm trajectory equivalence.
+  if (leave_pos < 0 || t_flip < t_exact_chosen) {
     const double t = t_flip;
     for (int i = 0; i < m_; ++i) {
       if (work_w_[i] != 0.0) x_[basis_[i]] -= sigma * t * work_w_[i];
@@ -552,7 +595,23 @@ RevisedSimplex::StepResult RevisedSimplex::iterate() {
 SolveStatus RevisedSimplex::run_phase(long* iterations, long iteration_limit) {
   recompute_reduced_costs();
   std::fill(devex_.begin(), devex_.end(), 1.0);
+  // Phase 1 exists only to reach feasibility: once every artificial sits
+  // exactly at zero the basis is primal feasible and further pivots would
+  // only chase the perturbed costs of structural variables — wasted work
+  // that also makes the phase-1 end basis drift unpredictably (which would
+  // break the cross-slot warm-start guarantee of replaying cold
+  // trajectories exactly). The exact ==0 test is deliberate: a leaving
+  // artificial is set to its bound exactly, while a lingering basic
+  // artificial keeps phase 1 running as before.
+  auto artificials_cleared = [&] {
+    if (!phase1_stop_when_feasible_) return false;
+    for (std::size_t k = 0; k < art_row_.size(); ++k) {
+      if (x_[n_ + m_ + static_cast<int>(k)] != 0.0) return false;
+    }
+    return true;
+  };
   while (*iterations < iteration_limit) {
+    if (artificials_cleared()) return SolveStatus::kOptimal;
     const StepResult r = iterate();
     if (r == StepResult::kOptimal) return SolveStatus::kOptimal;
     ++*iterations;

@@ -43,8 +43,19 @@ class RevisedSimplex {
   /// Basis snapshot for warm starts. Valid to reuse on a model with the SAME
   /// rows (same bounds and coefficients for existing columns) and possibly
   /// MORE columns appended at the end — the column-generation pattern. An
-  /// empty `basis` means "no usable snapshot".
+  /// empty `basis` means "no usable snapshot". Snapshots may also be
+  /// constructed externally (the cross-slot remap in core/column_generation
+  /// does); solve() verifies nonsingularity and primal feasibility before
+  /// trusting any snapshot, so a stale or hand-built basis can only cost a
+  /// cold fallback, never a wrong answer.
   struct WarmStart {
+    /// Status codes stored in col_status/row_status (the solver's internal
+    /// VarStatus encoding, public so external builders can speak it).
+    static constexpr signed char kBasic = 0;
+    static constexpr signed char kAtLower = 1;
+    static constexpr signed char kAtUpper = 2;
+    static constexpr signed char kFree = 3;
+
     std::vector<signed char> col_status;  // per structural column
     std::vector<signed char> row_status;  // per row (logical variable)
     // Per row: basic variable. Values >= 0 index structural columns;
@@ -56,8 +67,10 @@ class RevisedSimplex {
   explicit RevisedSimplex(Options options) : options_(options) {}
 
   /// Solves the model. When `warm` holds a basis compatible with the model
-  /// (and it factorizes), phase 1 is skipped entirely; otherwise the solver
-  /// silently falls back to the cold start.
+  /// — the statuses restore, the basis factorizes (nonsingular), and the
+  /// implied basic point is primal feasible — phase 1 is skipped entirely;
+  /// otherwise the solver falls back to the cold start. The path taken is
+  /// reported in Solution::warm_started.
   Solution solve(const LpModel& model, const WarmStart* warm = nullptr);
 
   /// Captures the final basis of the last solve() for reuse. Returns an
@@ -93,6 +106,10 @@ class RevisedSimplex {
   bool refactorize();
   /// Installs statuses/basis from a snapshot; false when incompatible.
   bool try_warm_start(const WarmStart& warm);
+  /// After a warm basis factorized: computes the implied basic values and
+  /// verifies every basic variable sits within its bounds (phase 1 is
+  /// skipped for warm starts, so an infeasible start must be rejected).
+  bool warm_point_feasible();
   void cold_start();
   void recompute_basic_values();
   /// Recomputes duals y and the full reduced-cost vector d from scratch.
@@ -132,6 +149,9 @@ class RevisedSimplex {
   std::vector<double> d_;       // reduced costs, maintained incrementally
   std::vector<double> devex_;   // Devex reference weights
   double dual_tol_ = 1e-7;
+  // Set during phase 1: run_phase() returns optimal as soon as every
+  // artificial is exactly zero (feasibility is phase 1's only goal).
+  bool phase1_stop_when_feasible_ = false;
 
   // Scratch.
   linalg::Vector work_y_, work_w_, work_rho_, work_rhs_;

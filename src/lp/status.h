@@ -43,6 +43,10 @@ struct Solution {
   long phase1_iterations = 0;
   long degenerate_pivots = 0;  // pivots with step length ~0
   long bound_flips = 0;
+  // True when a supplied warm-start basis was verified (nonsingular and
+  // primal feasible) and used, skipping phase 1; false means the solve ran
+  // from a cold start (none supplied, or the snapshot was rejected).
+  bool warm_started = false;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -258,6 +258,7 @@ void ControllerRuntime::solve_slot(int slot,
     sim::ScheduleOutcome outcome;
     std::vector<core::FilePlan> plans;
     std::vector<net::FileRequest> files;  // the group actually solved
+    core::MasterWarmCache cache;  // split mode: the group's cache, updated
     double seconds = 0.0;
   };
   struct BackendWork {
@@ -306,7 +307,13 @@ void ControllerRuntime::solve_slot(int slot,
       continue;
     }
     // Split-batch mode: each group solves against a snapshot clone; the
-    // single writer validates and commits after the barrier.
+    // single writer validates and commits after the barrier. Each group
+    // keeps its own warm cache across slots (group g always sees the batch
+    // stripe g, so its masters drift slowly): the driver moves it into the
+    // transient clone here and back out of the result after the barrier.
+    if (w.backend->group_caches.size() < static_cast<std::size_t>(w.groups)) {
+      w.backend->group_caches.resize(static_cast<std::size_t>(w.groups));
+    }
     for (int g = 0; g < w.groups; ++g) {
       std::vector<net::FileRequest> group;
       for (std::size_t i = static_cast<std::size_t>(g); i < w.batch.size();
@@ -314,18 +321,31 @@ void ControllerRuntime::solve_slot(int slot,
         group.push_back(w.batch[i]);
       }
       core::PostcardController clone = w.backend->postcard->snapshot_clone();
+      clone.set_warm_cache(std::move(
+          w.backend->group_caches[static_cast<std::size_t>(g)]));
       TaskResult* out = &results[w.first + static_cast<std::size_t>(g)];
       out->files = std::move(group);
       tasks.push_back([clone = std::move(clone), out, slot]() mutable {
         const auto t0 = std::chrono::steady_clock::now();
         out->outcome = clone.schedule(slot, out->files);
         out->plans = clone.last_plans();
+        out->cache = clone.release_warm_cache();
         out->seconds = elapsed_seconds(t0);
       });
     }
   }
 
   pool_.run_all(std::move(tasks));
+
+  // Adds a solve to the combined histogram and, when at least one master
+  // LP actually ran, to the start-type split. Caller holds stats_mu_.
+  auto add_solve_latency = [this](const sim::ScheduleOutcome& o,
+                                  double seconds) {
+    solve_latency_.add(seconds);
+    if (o.warm_accepts + o.cold_starts == 0) return;  // no LP this solve
+    const bool warm = o.warm_accepts > 0 && o.cold_starts == 0;
+    (warm ? solve_latency_warm_ : solve_latency_cold_).add(seconds);
+  };
 
   // Single-writer phase: merge results in deterministic (backend, group)
   // order; grouped plans are validated against live residual capacity and
@@ -346,8 +366,10 @@ void ControllerRuntime::solve_slot(int slot,
         }
       }
       std::lock_guard<std::mutex> lock(stats_mu_);
-      solve_latency_.add(r.seconds);
+      add_solve_latency(r.outcome, r.seconds);
       b.stats.cost_series.push_back(b.policy->cost_per_interval());
+      b.stats.charge_reduce_violations =
+          b.policy->charge_state().recorder().reduce_violations();
       continue;
     }
     for (int g = 0; g < w.groups; ++g) {
@@ -369,13 +391,18 @@ void ControllerRuntime::solve_slot(int slot,
         }
         if (!fits) break;
       }
+      // The group's cache is updated whether its plans were committed or
+      // conflicted away — it reflects the master the group solved, which
+      // is what stripe g resembles again next slot.
+      b.group_caches[static_cast<std::size_t>(g)] = std::move(r.cache);
       if (fits) {
         b.postcard->commit_plans(r.plans);
         record_outcome(b, slot, r.files, r.outcome);
         track_plans(b, slot, r.plans, r.files);
       } else {
         // Conflict: the groups' snapshot solves oversubscribed a link.
-        // The writer re-solves this group exactly, against live state.
+        // The writer re-solves this group exactly, against live state
+        // (warm-started from the live controller's own cache).
         const auto t0 = std::chrono::steady_clock::now();
         const sim::ScheduleOutcome live = b.postcard->schedule(slot, r.files);
         const double live_seconds = elapsed_seconds(t0);
@@ -383,13 +410,15 @@ void ControllerRuntime::solve_slot(int slot,
         track_plans(b, slot, b.postcard->last_plans(), r.files);
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++b.stats.conflict_resolves;
-        solve_latency_.add(live_seconds);
+        add_solve_latency(live, live_seconds);
       }
       std::lock_guard<std::mutex> lock(stats_mu_);
-      solve_latency_.add(r.seconds);
+      add_solve_latency(r.outcome, r.seconds);
     }
     std::lock_guard<std::mutex> lock(stats_mu_);
     b.stats.cost_series.push_back(b.policy->cost_per_interval());
+    b.stats.charge_reduce_violations =
+        b.policy->charge_state().recorder().reduce_violations();
   }
 }
 
@@ -402,6 +431,8 @@ void ControllerRuntime::record_outcome(
   std::lock_guard<std::mutex> lock(stats_mu_);
   b.stats.lp_iterations += outcome.lp_iterations;
   b.stats.lp_solves += outcome.lp_solves;
+  b.stats.warm_accepts += outcome.warm_accepts;
+  b.stats.cold_starts += outcome.cold_starts;
   for (int id : outcome.accepted_ids) {
     if (is_synthetic(id)) continue;  // fragment volume counted at admission
     ++b.stats.accepted_files;
@@ -498,6 +529,8 @@ RuntimeStats ControllerRuntime::stats() const {
   s.link_events = link_events_;
   s.slot_latency = slot_latency_;
   s.solve_latency = solve_latency_;
+  s.solve_latency_warm = solve_latency_warm_;
+  s.solve_latency_cold = solve_latency_cold_;
   s.backends.reserve(backends_.size());
   for (const auto& b : backends_) s.backends.push_back(b->stats);
   return s;

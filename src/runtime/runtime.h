@@ -152,6 +152,10 @@ class ControllerRuntime {
     std::unordered_map<int, InFlightPlan> plans;
     std::unordered_map<int, InFlightFlow> flows;
     std::vector<net::FileRequest> replan_batch;  // re-injected this slot
+    // Split-batch mode: per-group cross-slot warm caches. Snapshot clones
+    // are transient, so the driver moves cache g into group g's clone
+    // before the solve and back out of its result after the barrier.
+    std::vector<core::MasterWarmCache> group_caches;
   };
 
   void apply_capacity(int link, double capacity);
@@ -190,6 +194,8 @@ class ControllerRuntime {
   long link_events_ = 0;
   LatencyHistogram slot_latency_;
   LatencyHistogram solve_latency_;
+  LatencyHistogram solve_latency_warm_;  // solves whose first master was warm
+  LatencyHistogram solve_latency_cold_;
 };
 
 }  // namespace postcard::runtime

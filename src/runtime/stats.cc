@@ -15,6 +15,7 @@ void LatencyHistogram::add(double seconds) {
   }
   ++buckets_[static_cast<std::size_t>(bucket)];
   ++count_;
+  total_seconds_ += seconds;
   max_seconds_ = std::max(max_seconds_, seconds);
 }
 

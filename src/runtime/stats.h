@@ -24,12 +24,18 @@ class LatencyHistogram {
 
   std::int64_t count() const { return count_; }
   double max_seconds() const { return max_seconds_; }
+  /// Exact mean of the recorded samples (tracked outside the buckets, so it
+  /// carries no bucketing error), 0 when empty.
+  double mean_seconds() const {
+    return count_ > 0 ? total_seconds_ / static_cast<double>(count_) : 0.0;
+  }
   /// q in [0, 1]; e.g. quantile(0.99) is the p99 latency in seconds.
   double quantile(double q) const;
 
  private:
   std::array<std::int64_t, kBuckets> buckets_{};
   std::int64_t count_ = 0;
+  double total_seconds_ = 0.0;
   double max_seconds_ = 0.0;
 };
 
@@ -49,6 +55,14 @@ struct BackendStats {
   long conflict_resolves = 0;    // parallel group plans redone by the writer
   long lp_iterations = 0;
   int lp_solves = 0;
+  // Cross-slot warm starts: master solves whose seeded basis was verified
+  // and accepted vs. solves run cold (nothing seeded, or rejected).
+  long warm_accepts = 0;
+  long cold_starts = 0;
+  // Percentile ledger integrity: uncommits that asked for more volume than
+  // the slot held (beyond rounding noise). Always 0 in a correct engine;
+  // nonzero pinpoints a double-uncommit or a commit/uncommit mismatch.
+  long charge_reduce_violations = 0;
   std::vector<double> cost_series;  // cost per interval after each slot
 };
 
@@ -63,9 +77,14 @@ struct RuntimeStats {
   double ingress_rejected_volume = 0.0;
   // Network dynamics.
   long link_events = 0;
-  // Latency: whole-slot processing and individual solve tasks.
+  // Latency: whole-slot processing and individual solve tasks. The solve
+  // histogram is additionally split by how the slot's first master solve
+  // started (warm-accepted vs. cold); solves with no LP at all (empty
+  // batches, non-LP policies) appear only in the combined histogram.
   LatencyHistogram slot_latency;
   LatencyHistogram solve_latency;
+  LatencyHistogram solve_latency_warm;
+  LatencyHistogram solve_latency_cold;
   std::vector<BackendStats> backends;
 };
 

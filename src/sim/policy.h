@@ -23,6 +23,11 @@ struct ScheduleOutcome {
   double rejected_volume = 0.0;  // GB that could not be scheduled
   long lp_iterations = 0;        // summed over the LPs solved this slot
   int lp_solves = 0;
+  // Cross-slot warm-start accounting (policies without warm starts leave
+  // both zero): solves whose seeded basis passed the solver's verification
+  // vs. solves that ran from a cold start (none seeded, or rejected).
+  int warm_accepts = 0;
+  int cold_starts = 0;
 };
 
 class SchedulingPolicy {

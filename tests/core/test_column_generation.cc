@@ -147,5 +147,130 @@ TEST(ColumnGeneration, EmptyBatch) {
   EXPECT_NEAR(r.objective, 8.0, 1e-9);
 }
 
+// ---- Cross-slot warm cache -------------------------------------------------
+
+void commit_plans(charging::ChargeState& charge,
+                  const std::vector<FilePlan>& plans) {
+  for (const FilePlan& plan : plans) {
+    for (const Transfer& t : plan.transfers) {
+      if (!t.storage()) charge.commit(t.link, t.slot, t.volume);
+    }
+  }
+}
+
+std::vector<net::FileRequest> slot_batch(int slot) {
+  return {file(slot * 10 + 1, 0, 3, 22.0 + slot, 3, slot),
+          file(slot * 10 + 2, 1, 3, 14.0, 2, slot),
+          file(slot * 10 + 3, 2, 3, 9.0 + 2 * slot, 3, slot)};
+}
+
+TEST(ColumnGeneration, CrossSlotCacheIsTrajectoryIdenticalToColdStart) {
+  auto t = net::Topology::complete(4, 60.0, [](int i, int j) {
+    return 1.0 + ((3 * i + j) % 6);
+  });
+  // Two parallel controller histories over 4 slots, one threading a
+  // MasterWarmCache through, one always cold. The canonical remap must
+  // leave every plan bit-for-bit identical while skipping phase 1.
+  charging::ChargeState warm_charge(t.num_links());
+  charging::ChargeState cold_charge(t.num_links());
+  MasterWarmCache cache;
+  PathSolveOptions cold_opts;
+  cold_opts.cross_slot_warm = false;
+  long warm_iterations = 0, cold_iterations = 0;
+  for (int slot = 0; slot < 4; ++slot) {
+    const auto batch = slot_batch(slot);
+    const auto warm = solve_postcard_by_paths(t, warm_charge, slot, batch,
+                                              PathSolveOptions{}, &cache);
+    const auto cold =
+        solve_postcard_by_paths(t, cold_charge, slot, batch, cold_opts);
+    ASSERT_TRUE(warm.ok && warm.feasible) << "slot " << slot;
+    ASSERT_TRUE(cold.ok && cold.feasible) << "slot " << slot;
+    EXPECT_EQ(warm.warm_attempted, slot > 0) << "slot " << slot;
+    EXPECT_EQ(warm.warm_accepted, slot > 0) << "slot " << slot;
+    EXPECT_FALSE(cold.warm_attempted);
+    EXPECT_EQ(warm.objective, cold.objective) << "slot " << slot;
+    ASSERT_EQ(warm.plans.size(), cold.plans.size()) << "slot " << slot;
+    for (std::size_t k = 0; k < warm.plans.size(); ++k) {
+      ASSERT_EQ(warm.plans[k].transfers.size(), cold.plans[k].transfers.size());
+      for (std::size_t i = 0; i < warm.plans[k].transfers.size(); ++i) {
+        const Transfer& a = warm.plans[k].transfers[i];
+        const Transfer& b = cold.plans[k].transfers[i];
+        EXPECT_EQ(a.slot, b.slot);
+        EXPECT_EQ(a.link, b.link);
+        EXPECT_EQ(a.volume, b.volume) << "slot " << slot << " file " << k;
+      }
+    }
+    warm_iterations += warm.lp_iterations;
+    cold_iterations += cold.lp_iterations;
+    commit_plans(warm_charge, warm.plans);
+    commit_plans(cold_charge, cold.plans);
+  }
+  EXPECT_TRUE(cache.valid);
+  EXPECT_EQ(cache.captured_solves, 4);
+  // Identical pivots minus phase 1: strictly less total work.
+  EXPECT_LT(warm_iterations, cold_iterations);
+}
+
+TEST(ColumnGeneration, CarryBasisModeReachesTheSameOptimum) {
+  // carry_basis restores surviving row states instead of the canonical
+  // basis: on degenerate masters it may pick a different optimal vertex,
+  // so the contract is objective equality, not plan equality.
+  auto t = net::Topology::complete(4, 50.0, [](int i, int j) {
+    return 2.0 + ((i + 2 * j) % 5);
+  });
+  charging::ChargeState carry_charge(t.num_links());
+  charging::ChargeState cold_charge(t.num_links());
+  MasterWarmCache cache;
+  PathSolveOptions carry_opts = tight_options();
+  carry_opts.carry_basis = true;
+  PathSolveOptions cold_opts = tight_options();
+  cold_opts.cross_slot_warm = false;
+  for (int slot = 0; slot < 4; ++slot) {
+    const auto batch = slot_batch(slot);
+    const auto carry = solve_postcard_by_paths(t, carry_charge, slot, batch,
+                                               carry_opts, &cache);
+    const auto cold =
+        solve_postcard_by_paths(t, cold_charge, slot, batch, cold_opts);
+    ASSERT_TRUE(carry.ok && carry.feasible) << "slot " << slot;
+    ASSERT_TRUE(cold.ok && cold.feasible) << "slot " << slot;
+    EXPECT_NEAR(carry.objective, cold.objective,
+                1e-5 * (1.0 + cold.objective))
+        << "slot " << slot;
+    // Histories must stay comparable for the next slot's assertion: commit
+    // the *cold* plans into both charge states.
+    commit_plans(carry_charge, cold.plans);
+    commit_plans(cold_charge, cold.plans);
+  }
+}
+
+TEST(ColumnGeneration, StaleCacheAfterTopologyChangeStillSolvesCorrectly) {
+  // A capacity change between slots makes the cached basis stale (its
+  // implied point may violate the new capacities). The solver verifies and
+  // falls back silently; the result must match a cold solve exactly.
+  net::Topology t(3);
+  t.set_link(0, 1, 40.0, 1.0);
+  t.set_link(1, 2, 40.0, 2.0);
+  t.set_link(0, 2, 40.0, 6.0);
+  charging::ChargeState charge(t.num_links());
+  MasterWarmCache cache;
+  const auto first = solve_postcard_by_paths(
+      t, charge, 0, {file(1, 0, 2, 35.0, 2, 0)}, PathSolveOptions{}, &cache);
+  ASSERT_TRUE(first.ok && first.feasible);
+  ASSERT_TRUE(cache.valid);
+  commit_plans(charge, first.plans);
+
+  t.set_capacity(1, 5.0);  // link 1 -> 2 nearly gone
+  const auto batch = std::vector<net::FileRequest>{file(2, 0, 2, 20.0, 2, 1)};
+  const auto warm =
+      solve_postcard_by_paths(t, charge, 1, batch, PathSolveOptions{}, &cache);
+  PathSolveOptions cold_opts;
+  cold_opts.cross_slot_warm = false;
+  const auto cold = solve_postcard_by_paths(t, charge, 1, batch, cold_opts);
+  ASSERT_TRUE(warm.ok);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(warm.feasible, cold.feasible);
+  EXPECT_EQ(warm.objective, cold.objective);
+}
+
 }  // namespace
 }  // namespace postcard::core

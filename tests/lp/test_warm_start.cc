@@ -94,6 +94,89 @@ TEST(WarmStart, EmptySnapshotMeansCold) {
   EXPECT_NEAR(s.objective, -36.0, 1e-8);
 }
 
+TEST(WarmStart, SolutionReportsWarmStartedFlag) {
+  LpModel m = base_model();
+  RevisedSimplex solver;
+  const Solution cold = solver.solve(m);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(cold.warm_started);
+  const auto warm = solver.extract_warm_start();
+
+  RevisedSimplex second;
+  const Solution hot = second.solve(m, &warm);
+  ASSERT_EQ(hot.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(hot.warm_started);
+  EXPECT_EQ(hot.phase1_iterations, 0);
+}
+
+TEST(WarmStart, SingularRestoredBasisFallsBackCleanly) {
+  // x and y have identical columns, so a basis holding both is singular:
+  // the statuses restore fine but the factorization must reject it and the
+  // solve must fall back to a cold start, not divide by a zero pivot.
+  LpModel m;
+  const int x = m.add_variable(0.0, 10.0, -1.0);
+  const int y = m.add_variable(0.0, 10.0, -1.0);
+  const int r1 = m.add_constraint(-kInfinity, 4.0);
+  m.add_coefficient(r1, x, 1.0);
+  m.add_coefficient(r1, y, 1.0);
+  const int r2 = m.add_constraint(-kInfinity, 6.0);
+  m.add_coefficient(r2, x, 1.0);
+  m.add_coefficient(r2, y, 1.0);
+
+  RevisedSimplex::WarmStart warm;
+  warm.col_status = {RevisedSimplex::WarmStart::kBasic,
+                     RevisedSimplex::WarmStart::kBasic};
+  warm.row_status = {RevisedSimplex::WarmStart::kAtUpper,
+                     RevisedSimplex::WarmStart::kAtUpper};
+  warm.basis = {x, y};  // basis matrix [[1,1],[1,1]]: singular
+
+  RevisedSimplex solver;
+  const Solution s = solver.solve(m, &warm);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(s.warm_started);
+  EXPECT_NEAR(s.objective, -4.0, 1e-8);
+}
+
+TEST(WarmStart, InfeasibleWarmPointFallsBackCleanly) {
+  // A bound change between snapshot and reuse can make the restored basic
+  // point violate its bounds. Phase 1 is skipped on warm starts, so the
+  // solver must detect the infeasibility up front and start cold.
+  LpModel m = base_model();
+  RevisedSimplex solver;
+  ASSERT_EQ(solver.solve(m).status, SolveStatus::kOptimal);
+  const auto warm = solver.extract_warm_start();
+  ASSERT_FALSE(warm.basis.empty());
+
+  // Raise x's lower bound above its restored basic value: the snapshot
+  // still restores and factorizes, but the implied point has x = 2 < 3.
+  m.set_variable_bounds(0, 3.0, kInfinity);
+  RevisedSimplex second;
+  const Solution s = second.solve(m, &warm);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(s.warm_started);
+  EXPECT_NEAR(s.objective, -31.5, 1e-8);  // x = 3, y = 4.5
+}
+
+TEST(WarmStart, SnapshotFromWiderModelIsRejected) {
+  // A snapshot taken on a model with extra columns (the cross-slot case:
+  // last slot's master had path columns this slot's master lacks) cannot
+  // be restored verbatim; it must be rejected, not read out of bounds.
+  LpModel wide = base_model();
+  const int extra = wide.add_variable(0.0, 2.0, -10.0);
+  wide.add_coefficient(2, extra, 1.0);
+  RevisedSimplex solver;
+  ASSERT_EQ(solver.solve(wide).status, SolveStatus::kOptimal);
+  const auto warm = solver.extract_warm_start();
+  ASSERT_GT(warm.col_status.size(), 2u);
+
+  LpModel narrow = base_model();
+  RevisedSimplex second;
+  const Solution s = second.solve(narrow, &warm);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(s.warm_started);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+}
+
 TEST(WarmStart, SequenceOfExtensionsTracksOptimum) {
   // Repeatedly add columns (CG pattern) and check the warm-started optimum
   // matches a cold solve every time.
