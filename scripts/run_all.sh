@@ -15,18 +15,20 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}" 2>&1 | tee test_output.txt
 
 # Concurrency suite under TSAN: the preset configures build-tsan/ with
-# -DPOSTCARD_TSAN=ON; any data race fails the run.
+# -DPOSTCARD_TSAN=ON; any data race fails the run. `chaos` labels the
+# fault-injection suites (link failures, solver stalls/faults, the
+# degradation ladder).
 cmake --preset tsan
 cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan -L runtime --output-on-failure -j "${JOBS}" \
-  2>&1 | tee -a test_output.txt
+ctest --test-dir build-tsan -L "runtime|chaos" --output-on-failure \
+  -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 # Memory-safety pass: ASan + UBSan (fail-fast on UB) over the charging
-# ledgers and the runtime engine — the two subsystems with hand-rolled
+# ledgers and the runtime + chaos engines — the subsystems with hand-rolled
 # pointer structures (the order-statistic treap) and cross-thread handoff.
 cmake --preset asan
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan -L "charging|runtime" --output-on-failure \
+ctest --test-dir build-asan -L "charging|runtime|chaos" --output-on-failure \
   -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 for b in build/bench/bench_*; do

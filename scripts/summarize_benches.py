@@ -28,7 +28,9 @@ for line in open(path):
         cells.append(f"cost {cost:.0f}" + (f" ± {ci:.0f}" if ci is not None else ""))
     if rej is not None:
         cells.append(f"rej {100*rej:.1f}%")
-    for extra in ("delivered_gb", "objective", "percentile", "budget"):
+    for extra in ("delivered_gb", "objective", "percentile", "budget",
+                  "cost_delta", "degraded_slots", "rung_truncated",
+                  "rung_greedy", "carryover", "cost_vs_clean"):
         v = num(extra)
         if v is not None:
             cells.append(f"{extra}={v:.1f}")

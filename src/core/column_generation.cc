@@ -110,7 +110,8 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
                                         int slot,
                                         const std::vector<net::FileRequest>& files,
                                         const PathSolveOptions& options,
-                                        MasterWarmCache* warm_cache) {
+                                        MasterWarmCache* warm_cache,
+                                        lp::SolveBudget* budget) {
   PathSolveResult result;
   if (files.empty()) {
     result.ok = true;
@@ -193,6 +194,10 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   }
 
   lp::Solution sol;
+  // Last fully solved restricted master: optimal for its column set, hence
+  // primal feasible for the slot problem (unrouted volume parked on z).
+  // This is what a budget-truncated run commits.
+  lp::Solution incumbent_sol;
   linalg::Vector incumbent_duals;  // duals at the best Lagrangian bound
   double best_objective = std::numeric_limits<double>::infinity();
   int stalled = 0;
@@ -206,7 +211,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     const auto t0 = std::chrono::steady_clock::now();
     // Direct simplex call (no presolve): exact duals for every master row
     // plus a warm start from the previous round's basis.
-    sol = simplex.solve(master, warm.basis.empty() ? nullptr : &warm);
+    sol = simplex.solve(master, warm.basis.empty() ? nullptr : &warm, budget);
     if (result.rounds == 0) result.warm_accepted = sol.warm_started;
     warm = simplex.extract_warm_start();
     result.lp_iterations += sol.iterations;
@@ -219,7 +224,20 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count());
     }
+    if (sol.status == lp::SolveStatus::kDeadlineExceeded) {
+      // Budget ran out mid-solve. The interrupted iterate may be primal
+      // infeasible (a phase 1 cut short), so discard it and fall back to
+      // the incumbent. Round-0 exhaustion has no incumbent: ok stays
+      // false and the caller walks down its degradation ladder.
+      if (incumbent_sol.optimal()) {
+        sol = std::move(incumbent_sol);
+        result.truncated = true;
+        break;
+      }
+      return result;
+    }
     if (!sol.optimal()) return result;  // ok stays false
+    incumbent_sol = sol;
 
     // ---- Pricing: per file, the path maximizing the dual arc weights under
     // the supplied duals. Returns the Lagrangian slack sum_k F_k*min(0,rc_k)
@@ -304,6 +322,13 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     }
 
     if (!added) break;  // no improving path anywhere: LP optimum reached
+    // Budget gone between rounds: keep the just-solved (optimal) master
+    // instead of letting the next solve fail at its first pivot.
+    if (budget && budget->exhausted()) {
+      result.truncated = true;
+      ++result.rounds;
+      break;
+    }
     if (sol.objective - result.lower_bound <=
         options.relative_gap * (1.0 + std::abs(sol.objective))) {
       ++result.rounds;

@@ -35,6 +35,7 @@
 #include "charging/charge_state.h"
 #include "core/formulation.h"
 #include "core/plan.h"
+#include "lp/budget.h"
 #include "lp/simplex.h"
 #include "lp/solver.h"
 #include "net/file_request.h"
@@ -120,6 +121,11 @@ struct PathSolveResult {
   int path_columns = 0;
   double lower_bound = 0.0;    // Lagrangian bound on the LP optimum
   lp::SolveStatus master_status = lp::SolveStatus::kNumericalFailure;
+  // A SolveBudget ran out before CG converged and the result holds the
+  // incumbent restricted-master optimum instead of the full LP optimum.
+  // ok is still true: the incumbent is primal feasible for the slot
+  // problem (unrouted volume sits on the z columns, reported as usual).
+  bool truncated = false;
   // Cross-slot warm-start outcome of the first master solve: attempted is
   // true when a valid cache was remapped in, accepted when the solver's
   // verification kept it (vs. falling back to a cold start).
@@ -132,11 +138,17 @@ struct PathSolveResult {
 /// `warm_cache` is supplied, the first master solve is seeded from it (see
 /// MasterWarmCache) and the final basis is captured back into it for the
 /// next slot.
+///
+/// A limited `budget` is shared by every master solve (charged per pivot)
+/// and checked between pricing rounds. On exhaustion the incumbent
+/// restricted-master optimum is returned with `truncated` set; exhaustion
+/// before any master solved leaves ok false with kDeadlineExceeded.
 PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
                                         const charging::ChargeState& charge,
                                         int slot,
                                         const std::vector<net::FileRequest>& files,
                                         const PathSolveOptions& options = {},
-                                        MasterWarmCache* warm_cache = nullptr);
+                                        MasterWarmCache* warm_cache = nullptr,
+                                        lp::SolveBudget* budget = nullptr);
 
 }  // namespace postcard::core

@@ -32,25 +32,35 @@ sim::ScheduleOutcome GreedyScheduler::schedule(
   });
 
   for (const net::FileRequest& file : batch) {
-    charging::ChargeState scratch = charge_;  // roll back on failure
     FilePlan plan;
-    if (route_file(file, scratch, plan)) {
-      charge_ = std::move(scratch);
+    double gave_up = 0.0;
+    const GreedyRoute r =
+        greedy_route_file(topology_, options_, file, charge_, plan, &gave_up);
+    if (r == GreedyRoute::kRouted) {
       outcome.accepted_ids.push_back(file.id);
       last_plans_.push_back(std::move(plan));
     } else {
       outcome.rejected_ids.push_back(file.id);
       outcome.rejected_volume += file.size;
+      if (r == GreedyRoute::kChunkLimit) {
+        // The chunk budget, not the network, stopped this file — count the
+        // abandoned volume loudly instead of folding it into a plain reject.
+        ++outcome.gave_up_files;
+        outcome.gave_up_volume += gave_up;
+      }
     }
   }
   (void)slot;
   return outcome;
 }
 
-bool GreedyScheduler::route_file(const net::FileRequest& file,
-                                 charging::ChargeState& scratch,
-                                 FilePlan& plan) const {
-  const int n = topology_.num_datacenters();
+GreedyRoute greedy_route_file(const net::Topology& topology,
+                              const GreedyOptions& options,
+                              const net::FileRequest& file,
+                              charging::ChargeState& state, FilePlan& plan,
+                              double* gave_up_volume) {
+  charging::ChargeState scratch = state;  // roll back on failure
+  const int n = topology.num_datacenters();
   const int deadline = file.max_transfer_slots;
   const int t0 = file.release_slot;
   plan.file_id = file.id;
@@ -59,7 +69,7 @@ bool GreedyScheduler::route_file(const net::FileRequest& file,
 
   double remaining = file.size;
   for (int chunk_round = 0;
-       remaining > kEps && chunk_round < options_.max_chunks_per_file;
+       remaining > kEps && chunk_round < options.max_chunks_per_file;
        ++chunk_round) {
     // Cheapest 1-GB path by marginal charge: DP over (dc, layer).
     std::vector<double> dist(static_cast<std::size_t>(n) * (deadline + 1), kInf);
@@ -73,23 +83,23 @@ bool GreedyScheduler::route_file(const net::FileRequest& file,
         if (base == kInf) continue;
         // Storage arc (self-loop), free and uncapped.
         const bool storage_ok =
-            options_.allow_storage || from == file.source ||
+            options.allow_storage || from == file.source ||
             from == file.destination;
         if (storage_ok && base < dist[(layer + 1) * n + from]) {
           dist[(layer + 1) * n + from] = base;
           pred[(layer + 1) * n + from] = {from, -1};
         }
         for (int to = 0; to < n; ++to) {
-          const int link = topology_.link_index(from, to);
+          const int link = topology.link_index(from, to);
           if (link < 0) continue;
           const int s = t0 + layer;
-          if (topology_.link(link).capacity - scratch.committed(link, s) <=
+          if (topology.link(link).capacity - scratch.committed(link, s) <=
               kEps) {
             continue;  // slot full
           }
           const double marginal = scratch.free_headroom(link, s) > kEps
                                       ? 0.0
-                                      : topology_.link(link).unit_cost;
+                                      : topology.link(link).unit_cost;
           if (base + marginal < dist[(layer + 1) * n + to] - 1e-15) {
             dist[(layer + 1) * n + to] = base + marginal;
             pred[(layer + 1) * n + to] = {from, link};
@@ -97,7 +107,9 @@ bool GreedyScheduler::route_file(const net::FileRequest& file,
         }
       }
     }
-    if (dist[deadline * n + file.destination] == kInf) return false;
+    if (dist[deadline * n + file.destination] == kInf) {
+      return GreedyRoute::kNoPath;
+    }
 
     // Walk the path backwards, collecting arcs and the feasible chunk size.
     std::vector<std::tuple<int, int, int, int>> path;  // (layer, from, to, link)
@@ -110,7 +122,7 @@ bool GreedyScheduler::route_file(const net::FileRequest& file,
       if (link >= 0) {
         ++hops;
         const int s = t0 + layer - 1;
-        chunk = std::min(chunk, topology_.link(link).capacity -
+        chunk = std::min(chunk, topology.link(link).capacity -
                                     scratch.committed(link, s));
         // Keep "free" arcs free for the whole chunk so the path cost
         // estimate stays valid.
@@ -125,7 +137,7 @@ bool GreedyScheduler::route_file(const net::FileRequest& file,
     // evenly across the possible starts is strictly cheaper than bursting.
     const int starts = std::max(1, deadline - hops + 1);
     chunk = std::min(chunk, std::max(remaining / starts, kEps * 10.0));
-    if (chunk <= kEps) return false;
+    if (chunk <= kEps) return GreedyRoute::kNoPath;
 
     for (const auto& [layer, from, to, link] : path) {
       moved[{layer, from, to, link}] += chunk;
@@ -133,7 +145,10 @@ bool GreedyScheduler::route_file(const net::FileRequest& file,
     }
     remaining -= chunk;
   }
-  if (remaining > kEps * (1.0 + file.size)) return false;
+  if (remaining > kEps * (1.0 + file.size)) {
+    if (gave_up_volume) *gave_up_volume = remaining;
+    return GreedyRoute::kChunkLimit;
+  }
 
   for (const auto& [key, volume] : moved) {
     const auto& [layer, from, to, link] = key;
@@ -145,7 +160,8 @@ bool GreedyScheduler::route_file(const net::FileRequest& file,
               if (a.from != b.from) return a.from < b.from;
               return a.to < b.to;
             });
-  return true;
+  state = std::move(scratch);
+  return GreedyRoute::kRouted;
 }
 
 }  // namespace postcard::core

@@ -28,6 +28,28 @@ struct GreedyOptions {
   bool allow_storage = true;      // mirror of the Postcard ablation knob
 };
 
+/// Why greedy_route_file declined a file.
+enum class GreedyRoute {
+  kRouted,      // plan built, state updated
+  kNoPath,      // no deadline-feasible path with usable capacity remains
+  kChunkLimit,  // max_chunks_per_file exhausted with volume remaining
+};
+
+/// Routes one file along cheapest marginal-charge paths through the
+/// time-expanded graph, chunk by chunk. On kRouted the plan holds the
+/// transfers and `state` the updated charge ledger; on any failure `state`
+/// is left untouched and, for kChunkLimit, `gave_up_volume` (when non-null)
+/// receives the volume still unrouted when the chunk budget ran out.
+///
+/// Exposed as a free function so the runtime's degradation ladder can run
+/// the same heuristic against the Postcard controller's own charge state
+/// when the LP is out of budget.
+GreedyRoute greedy_route_file(const net::Topology& topology,
+                              const GreedyOptions& options,
+                              const net::FileRequest& file,
+                              charging::ChargeState& state, FilePlan& plan,
+                              double* gave_up_volume = nullptr);
+
 class GreedyScheduler : public sim::SchedulingPolicy {
  public:
   explicit GreedyScheduler(net::Topology topology,
@@ -44,11 +66,6 @@ class GreedyScheduler : public sim::SchedulingPolicy {
   const std::vector<FilePlan>& last_plans() const { return last_plans_; }
 
  private:
-  /// Routes one file against `scratch` (a working copy of the charge state).
-  /// On success the plan is returned and scratch holds the updated ledger.
-  bool route_file(const net::FileRequest& file, charging::ChargeState& scratch,
-                  FilePlan& plan) const;
-
   net::Topology topology_;
   GreedyOptions options_;
   charging::ChargeState charge_;

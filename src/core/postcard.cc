@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/column_generation.h"
+#include "core/greedy.h"
 
 namespace postcard::core {
 
@@ -47,10 +48,57 @@ sim::ScheduleOutcome PostcardController::schedule(
   std::vector<net::FileRequest> batch = files;
   for (const net::FileRequest& f : batch) validate(f, topology_);
 
+  // Watchdog budget for the whole slot: one SolveBudget shared by every
+  // master solve and admission retry, so the slot as a whole respects the
+  // limit. With inactive controls (`ladder` false) everything below is the
+  // legacy drop-and-retry admission, bit for bit.
+  const bool ladder = controls_.active();
+  lp::SolveBudget budget;
+  if (controls_.max_pivots >= 0) budget.set_pivot_limit(controls_.max_pivots);
+  if (controls_.deadline_seconds >= 0.0) {
+    budget.set_deadline_seconds(controls_.deadline_seconds);
+  }
+  lp::SolveBudget* bp = budget.limited() ? &budget : nullptr;
+
+  // Files the LP rungs could not place; handed to the greedy rung below.
+  std::vector<net::FileRequest> pending;
+
+  if (ladder && controls_.disable_rungs >= 1) {
+    // Injected solver fault: the CG rungs are gone before the first solve.
+    ++outcome.solver_failures;
+    outcome.solver_status = "fault_injected";
+    pending = std::move(batch);
+    batch.clear();
+  }
+
   while (!batch.empty()) {
     std::vector<FilePlan> plans;
     std::vector<int> unroutable;
-    if (try_schedule(slot, batch, plans, outcome, unroutable)) {
+    bool truncated = false;
+    lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
+    if (try_schedule(slot, batch, plans, outcome, unroutable, bp, &truncated,
+                     &status)) {
+      // Commit-worthy master solution. Under a truncated master, files the
+      // incumbent left (partially) unrouted are NOT committed — a partial
+      // delivery spends capacity without completing anything — they move
+      // to the greedy rung instead, and dropping their flow keeps the
+      // remaining plans capacity-feasible.
+      if (!unroutable.empty()) {
+        std::vector<FilePlan> kept;
+        for (FilePlan& plan : plans) {
+          if (std::find(unroutable.begin(), unroutable.end(), plan.file_id) ==
+              unroutable.end()) {
+            kept.push_back(std::move(plan));
+          }
+        }
+        plans = std::move(kept);
+        for (int id : unroutable) {
+          const auto it = std::find_if(
+              batch.begin(), batch.end(),
+              [id](const net::FileRequest& f) { return f.id == id; });
+          if (it != batch.end()) pending.push_back(*it);
+        }
+      }
       for (const FilePlan& plan : plans) {
         for (const Transfer& t : plan.transfers) {
           if (!t.storage()) charge_.commit(t.link, t.slot, t.volume);
@@ -58,7 +106,24 @@ sim::ScheduleOutcome PostcardController::schedule(
         outcome.accepted_ids.push_back(plan.file_id);
       }
       last_plans_ = std::move(plans);
-      return outcome;
+      if (ladder) {
+        if (truncated) {
+          ++outcome.rung_truncated;
+        } else {
+          ++outcome.rung_full;
+        }
+      }
+      break;
+    }
+    // The master failed outright. Under the ladder, anything that is not a
+    // capacity verdict (kOptimal with z > 0 reports unroutable files;
+    // kInfeasible comes from the direct formulation) walks the whole batch
+    // down to the greedy rung instead of re-burning the exhausted budget.
+    if (ladder && unroutable.empty() &&
+        status != lp::SolveStatus::kInfeasible) {
+      pending.insert(pending.end(), batch.begin(), batch.end());
+      batch.clear();
+      break;
     }
     // Admission: drop exactly the files the relaxed master could not route
     // (known when column generation ran), otherwise fall back to dropping
@@ -77,6 +142,38 @@ sim::ScheduleOutcome PostcardController::schedule(
       batch.erase(it);
     }
   }
+
+  // ---- Greedy rung: route leftovers by sequential shortest paths against
+  // the live charge state (same graph, same marginal-charge arc costs).
+  // Files it cannot place are deferred — neither accepted nor rejected —
+  // for the runtime to carry over or fail loudly.
+  if (!pending.empty()) {
+    GreedyOptions gopts;
+    gopts.allow_storage = options_.formulation.allow_storage;
+    for (const net::FileRequest& file : pending) {
+      if (controls_.disable_rungs >= 2) {
+        outcome.deferred_ids.push_back(file.id);
+        outcome.deferred_volume += file.size;
+        continue;
+      }
+      FilePlan plan;
+      double gave_up = 0.0;
+      const GreedyRoute r =
+          greedy_route_file(topology_, gopts, file, charge_, plan, &gave_up);
+      if (r == GreedyRoute::kRouted) {
+        outcome.accepted_ids.push_back(file.id);
+        ++outcome.rung_greedy;
+        last_plans_.push_back(std::move(plan));
+      } else {
+        if (r == GreedyRoute::kChunkLimit) {
+          ++outcome.gave_up_files;
+          outcome.gave_up_volume += gave_up;
+        }
+        outcome.deferred_ids.push_back(file.id);
+        outcome.deferred_volume += file.size;
+      }
+    }
+  }
   return outcome;
 }
 
@@ -84,7 +181,9 @@ bool PostcardController::try_schedule(int slot,
                                       const std::vector<net::FileRequest>& files,
                                       std::vector<FilePlan>& plans,
                                       sim::ScheduleOutcome& outcome,
-                                      std::vector<int>& unroutable_ids) {
+                                      std::vector<int>& unroutable_ids,
+                                      lp::SolveBudget* budget, bool* truncated,
+                                      lp::SolveStatus* status) {
   const bool can_use_paths =
       options_.use_column_generation &&
       !std::isfinite(options_.formulation.storage_capacity);
@@ -98,13 +197,21 @@ bool PostcardController::try_schedule(int slot,
     popts.carry_basis = options_.warm_start_carry_basis;
     const PathSolveResult r = solve_postcard_by_paths(
         topology_, charge_, slot, files, popts,
-        options_.warm_start ? &warm_cache_ : nullptr);
+        options_.warm_start ? &warm_cache_ : nullptr, budget);
     outcome.lp_iterations += r.lp_iterations;
     ++outcome.lp_solves;
     if (r.warm_attempted && r.warm_accepted) {
       ++outcome.warm_accepts;
     } else {
       ++outcome.cold_starts;
+    }
+    *status = r.master_status;
+    *truncated = r.truncated;
+    // The path master is never infeasible (z absorbs unrouted demand), so
+    // any non-optimal final status is a solver failure worth counting.
+    if (r.master_status != lp::SolveStatus::kOptimal) {
+      ++outcome.solver_failures;
+      outcome.solver_status = lp::to_string(r.master_status);
     }
     if (!r.ok) return false;
     if (!r.feasible) {
@@ -113,6 +220,13 @@ bool PostcardController::try_schedule(int slot,
           unroutable_ids.push_back(files[k].id);
         }
       }
+      // A truncated master is still commit-worthy for the files it DID
+      // route; the caller filters out the unroutable ones. Re-solving
+      // after dropping files would just re-burn the exhausted budget.
+      if (r.truncated) {
+        plans = r.plans;
+        return true;
+      }
       return false;
     }
     plans = r.plans;
@@ -120,10 +234,17 @@ bool PostcardController::try_schedule(int slot,
   }
   TimeExpandedFormulation formulation(topology_, charge_, slot, files,
                                       options_.formulation);
-  const lp::Solution solution = lp::solve(formulation.model(), options_.lp);
+  const lp::Solution solution =
+      lp::solve(formulation.model(), options_.lp, budget);
   outcome.lp_iterations += solution.iterations;
   ++outcome.lp_solves;
   ++outcome.cold_starts;  // the direct formulation has no cross-slot cache
+  *status = solution.status;
+  if (solution.status != lp::SolveStatus::kOptimal &&
+      solution.status != lp::SolveStatus::kInfeasible) {
+    ++outcome.solver_failures;
+    outcome.solver_status = lp::to_string(solution.status);
+  }
   if (!solution.optimal()) return false;
   plans = formulation.extract_plans(solution);
   return true;

@@ -79,6 +79,17 @@ class PostcardController : public sim::SchedulingPolicy {
   /// the runtime owns invalidation and replanning (uncommit_future).
   bool set_link_capacity(int link, double capacity) override;
 
+  /// Arms the slot watchdog: every subsequent schedule() builds a
+  /// SolveBudget from these controls and walks the degradation ladder on
+  /// exhaustion (full CG -> truncated CG -> greedy fallback -> deferral,
+  /// reported through ScheduleOutcome::deferred_ids). With inactive
+  /// controls (the default) behavior is the legacy drop-and-retry
+  /// admission, bit for bit.
+  bool set_solve_controls(const sim::SolveControls& controls) override {
+    controls_ = controls;
+    return true;
+  }
+
   /// Deep copy sharing nothing with *this: the runtime's parallel
   /// split-batch mode solves sub-batches on snapshot clones while the live
   /// controller keeps sole write ownership of the charge state.
@@ -105,16 +116,22 @@ class PostcardController : public sim::SchedulingPolicy {
   /// Attempts to schedule the whole batch. On infeasibility, fills
   /// `unroutable_ids` with the files the column-generation master could not
   /// route (empty when the direct formulation was used, which only reports
-  /// infeasible/feasible).
+  /// infeasible/feasible). `status` reports the final master status and
+  /// `truncated` whether a budget cut column generation short; a true
+  /// return with non-empty `unroutable_ids` means a truncated master whose
+  /// routed subset (already filtered into consistency by the caller) is
+  /// commit-worthy while the listed files need the next rung.
   bool try_schedule(int slot, const std::vector<net::FileRequest>& files,
                     std::vector<FilePlan>& plans, sim::ScheduleOutcome& outcome,
-                    std::vector<int>& unroutable_ids);
+                    std::vector<int>& unroutable_ids, lp::SolveBudget* budget,
+                    bool* truncated, lp::SolveStatus* status);
 
   net::Topology topology_;
   PostcardOptions options_;
   charging::ChargeState charge_;
   std::vector<FilePlan> last_plans_;
   MasterWarmCache warm_cache_;
+  sim::SolveControls controls_;
 };
 
 }  // namespace postcard::core

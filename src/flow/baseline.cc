@@ -41,10 +41,31 @@ sim::ScheduleOutcome FlowBaseline::schedule(
   std::vector<net::FileRequest> batch = files;
   for (const net::FileRequest& f : batch) validate(f, topology_);
 
+  // Watchdog budget for the whole slot (shared across admission retries);
+  // inactive controls leave the legacy behavior untouched.
+  const bool ladder = controls_.active();
+  lp::SolveBudget budget;
+  if (controls_.max_pivots >= 0) budget.set_pivot_limit(controls_.max_pivots);
+  if (controls_.deadline_seconds >= 0.0) {
+    budget.set_deadline_seconds(controls_.deadline_seconds);
+  }
+  lp::SolveBudget* bp = budget.limited() ? &budget : nullptr;
+
+  if (ladder && controls_.disable_rungs >= 1) {
+    ++outcome.solver_failures;
+    outcome.solver_status = "fault_injected";
+    for (const net::FileRequest& f : batch) {
+      outcome.deferred_ids.push_back(f.id);
+      outcome.deferred_volume += f.size;
+    }
+    return outcome;
+  }
+
   // Drop-heaviest admission loop: shrink the batch until it fits.
   while (!batch.empty()) {
     std::vector<FlowAssignment> assignments;
-    if (try_schedule(slot, batch, assignments, outcome)) {
+    lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
+    if (try_schedule(slot, batch, assignments, outcome, bp, &status)) {
       for (const FlowAssignment& a : assignments) {
         for (const auto& [link, rate] : a.link_rates) {
           for (int n = a.start_slot; n < a.start_slot + a.duration; ++n) {
@@ -54,6 +75,16 @@ sim::ScheduleOutcome FlowBaseline::schedule(
         outcome.accepted_ids.push_back(a.file_id);
       }
       last_assignments_ = std::move(assignments);
+      return outcome;
+    }
+    // Under the watchdog, a non-capacity failure (budget exhausted or
+    // numeric trouble) defers the batch instead of re-burning the budget
+    // on drop-and-retry; only genuine infeasibility keeps dropping.
+    if (ladder && status != lp::SolveStatus::kInfeasible) {
+      for (const net::FileRequest& f : batch) {
+        outcome.deferred_ids.push_back(f.id);
+        outcome.deferred_volume += f.size;
+      }
       return outcome;
     }
     const int drop = net::heaviest_file(batch);
@@ -67,7 +98,9 @@ sim::ScheduleOutcome FlowBaseline::schedule(
 bool FlowBaseline::try_schedule(int slot,
                                 const std::vector<net::FileRequest>& files,
                                 std::vector<FlowAssignment>& assignments,
-                                sim::ScheduleOutcome& outcome) {
+                                sim::ScheduleOutcome& outcome,
+                                lp::SolveBudget* budget,
+                                lp::SolveStatus* status) {
   const int num_files = static_cast<int>(files.size());
   const int num_links = topology_.num_links();
   const int num_nodes = topology_.num_datacenters();
@@ -120,10 +153,18 @@ bool FlowBaseline::try_schedule(int slot,
         }
       }
     }
-    const lp::Solution s1 = lp::solve(m1, options_.lp);
+    const lp::Solution s1 = lp::solve(m1, options_.lp, budget);
     outcome.lp_iterations += s1.iterations;
     ++outcome.lp_solves;
-    if (!s1.optimal()) return false;  // lambda=0 is feasible; failure is numeric
+    *status = s1.status;
+    if (!s1.optimal()) {
+      // lambda=0 is always feasible here, so any failure is solver trouble
+      // (numeric breakdown or an exhausted budget) — count it loudly
+      // instead of letting the admission loop mask it as a capacity drop.
+      ++outcome.solver_failures;
+      outcome.solver_status = lp::to_string(s1.status);
+      return false;
+    }
     lambda = std::clamp(s1.x[lam], 0.0, 1.0);
     for (int k = 0; k < num_files; ++k) {
       for (int l = 0; l < num_links; ++l) {
@@ -182,10 +223,19 @@ bool FlowBaseline::try_schedule(int slot,
       }
     }
   }
-  const lp::Solution s2 = lp::solve(m2, options_.lp);
+  const lp::Solution s2 = lp::solve(m2, options_.lp, budget);
   outcome.lp_iterations += s2.iterations;
   ++outcome.lp_solves;
-  if (!s2.optimal()) return false;
+  *status = s2.status;
+  if (!s2.optimal()) {
+    // Stage 2 CAN be genuinely infeasible (the batch does not fit); only a
+    // non-infeasible failure is solver trouble worth a loud counter.
+    if (s2.status != lp::SolveStatus::kInfeasible) {
+      ++outcome.solver_failures;
+      outcome.solver_status = lp::to_string(s2.status);
+    }
+    return false;
+  }
 
   assignments.clear();
   for (int k = 0; k < num_files; ++k) {

@@ -73,6 +73,15 @@ class FlowBaseline : public sim::SchedulingPolicy {
   /// are NOT revalidated — the runtime invalidates and replans them.
   bool set_link_capacity(int link, double capacity) override;
 
+  /// Arms the slot watchdog. The flow model has no store-and-forward
+  /// fallback rungs: on budget exhaustion or an injected fault the whole
+  /// batch is deferred (ScheduleOutcome::deferred_ids) instead of being
+  /// silently dropped by the admission loop.
+  bool set_solve_controls(const sim::SolveControls& controls) override {
+    controls_ = controls;
+    return true;
+  }
+
   /// Rolls the committed tail of `assignment` (slots >= from_slot) back
   /// out of the charge state: a link failure stopped the flow before its
   /// remaining volume was carried.
@@ -83,15 +92,19 @@ class FlowBaseline : public sim::SchedulingPolicy {
   double residual_capacity(int link, int slot) const;
 
   /// Attempts to schedule the whole batch; fills `assignments` and returns
-  /// true on success. No state is committed on failure.
+  /// true on success. No state is committed on failure. `status` reports
+  /// the final LP status of the failing (or last) stage so callers can
+  /// tell capacity infeasibility from solver trouble.
   bool try_schedule(int slot, const std::vector<net::FileRequest>& files,
                     std::vector<FlowAssignment>& assignments,
-                    sim::ScheduleOutcome& outcome);
+                    sim::ScheduleOutcome& outcome, lp::SolveBudget* budget,
+                    lp::SolveStatus* status);
 
   net::Topology topology_;
   FlowBaselineOptions options_;
   charging::ChargeState charge_;
   std::vector<FlowAssignment> last_assignments_;
+  sim::SolveControls controls_;
 };
 
 }  // namespace postcard::flow

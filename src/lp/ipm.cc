@@ -118,7 +118,8 @@ struct NormalEquations {
 
 }  // namespace
 
-Solution InteriorPoint::solve(const LpModel& model) {
+Solution InteriorPoint::solve(const LpModel& model, SolveBudget* budget) {
+  if (budget && !budget->limited()) budget = nullptr;
   Solution result;
   EqForm eq = to_equality_form(model);
   const Index m = eq.a.rows();
@@ -197,6 +198,13 @@ Solution InteriorPoint::solve(const LpModel& model) {
   };
 
   for (long iter = 0; iter < options_.max_iterations; ++iter) {
+    // Cooperative cancellation before the (expensive) factorization; the
+    // tail below still reports the current iterate as the best answer.
+    if (budget && !budget->charge()) {
+      result.status = SolveStatus::kDeadlineExceeded;
+      result.iterations = iter;
+      break;
+    }
     // Residuals.
     eq.a.multiply(x, ax);
     for (Index i = 0; i < m; ++i) rp[i] = eq.b[i] - ax[i];

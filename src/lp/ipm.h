@@ -16,6 +16,7 @@
 // solver-ablation benchmark.
 #pragma once
 
+#include "lp/budget.h"
 #include "lp/model.h"
 #include "lp/status.h"
 
@@ -33,7 +34,10 @@ class InteriorPoint {
   InteriorPoint() : InteriorPoint(Options{}) {}
   explicit InteriorPoint(Options options) : options_(options) {}
 
-  Solution solve(const LpModel& model);
+  /// `budget`, when non-null and limited, is charged once per IPM iteration;
+  /// on exhaustion the solve stops with kDeadlineExceeded and reports the
+  /// current (interior, clamped-to-bounds) iterate.
+  Solution solve(const LpModel& model, SolveBudget* budget = nullptr);
 
  private:
   Options options_;

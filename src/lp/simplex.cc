@@ -216,7 +216,9 @@ RevisedSimplex::WarmStart RevisedSimplex::extract_warm_start() const {
   return w;
 }
 
-Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm) {
+Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm,
+                               SolveBudget* budget) {
+  budget_ = budget && budget->limited() ? budget : nullptr;
   a_ = model.build_matrix();
   n_ = model.num_variables();
   m_ = model.num_constraints();
@@ -285,7 +287,9 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm) {
     result.degenerate_pivots = stat_degenerate_;
     result.bound_flips = stat_flips_;
     result.x.assign(x_.begin(), x_.begin() + n_);
-    if (status == SolveStatus::kOptimal || status == SolveStatus::kIterationLimit) {
+    if (status == SolveStatus::kOptimal ||
+        status == SolveStatus::kIterationLimit ||
+        status == SolveStatus::kDeadlineExceeded) {
       result.objective = model.objective_value(result.x);
       // Duals against the true costs.
       for (int i = 0; i < m_; ++i) work_y_[i] = base_cost_[basis_[i]];
@@ -322,7 +326,10 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm) {
     if (s1 == SolveStatus::kUnbounded || s1 == SolveStatus::kNumericalFailure) {
       return finish(SolveStatus::kNumericalFailure);
     }
-    if (s1 == SolveStatus::kIterationLimit) return finish(s1);
+    if (s1 == SolveStatus::kIterationLimit ||
+        s1 == SolveStatus::kDeadlineExceeded) {
+      return finish(s1);
+    }
     result.phase1_iterations = iterations;
 
     double infeasibility = 0.0;
@@ -612,6 +619,9 @@ SolveStatus RevisedSimplex::run_phase(long* iterations, long iteration_limit) {
   };
   while (*iterations < iteration_limit) {
     if (artificials_cleared()) return SolveStatus::kOptimal;
+    // Cooperative cancellation: charge before pivoting, so an exhausted
+    // budget stops at a consistent basic point (the last completed pivot).
+    if (budget_ && !budget_->charge()) return SolveStatus::kDeadlineExceeded;
     const StepResult r = iterate();
     if (r == StepResult::kOptimal) return SolveStatus::kOptimal;
     ++*iterations;

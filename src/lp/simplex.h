@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "linalg/lu.h"
+#include "lp/budget.h"
 #include "lp/model.h"
 #include "lp/status.h"
 
@@ -71,7 +72,12 @@ class RevisedSimplex {
   /// implied basic point is primal feasible — phase 1 is skipped entirely;
   /// otherwise the solver falls back to the cold start. The path taken is
   /// reported in Solution::warm_started.
-  Solution solve(const LpModel& model, const WarmStart* warm = nullptr);
+  ///
+  /// `budget`, when non-null and limited, is charged one unit per pivot;
+  /// on exhaustion the solve stops with kDeadlineExceeded and the best
+  /// basic point reached so far (objective and duals are still reported).
+  Solution solve(const LpModel& model, const WarmStart* warm = nullptr,
+                 SolveBudget* budget = nullptr);
 
   /// Captures the final basis of the last solve() for reuse. Returns an
   /// unusable (empty-basis) snapshot when an artificial variable is still
@@ -127,6 +133,7 @@ class RevisedSimplex {
   double violation(int j) const;
 
   Options options_;
+  SolveBudget* budget_ = nullptr;  // per-solve cancellation token, may be null
 
   // Problem data in computational form.
   linalg::SparseMatrix a_;             // structural columns

@@ -8,24 +8,26 @@ namespace postcard::lp {
 
 namespace {
 
-Solution solve_direct(const LpModel& model, const SolverOptions& options) {
+Solution solve_direct(const LpModel& model, const SolverOptions& options,
+                      SolveBudget* budget) {
   if (options.method == Method::kInteriorPoint) {
     InteriorPoint::Options opts;
     opts.tol = options.opt_tol;
     if (options.max_iterations > 0) opts.max_iterations = options.max_iterations;
-    return InteriorPoint(opts).solve(model);
+    return InteriorPoint(opts).solve(model, budget);
   }
   RevisedSimplex::Options opts;
   opts.feas_tol = options.feas_tol;
   opts.opt_tol = options.opt_tol;
   opts.max_iterations = options.max_iterations;
-  return RevisedSimplex(opts).solve(model);
+  return RevisedSimplex(opts).solve(model, nullptr, budget);
 }
 
 }  // namespace
 
-Solution solve(const LpModel& model, const SolverOptions& options) {
-  if (!options.presolve) return solve_direct(model, options);
+Solution solve(const LpModel& model, const SolverOptions& options,
+               SolveBudget* budget) {
+  if (!options.presolve) return solve_direct(model, options, budget);
 
   Presolver presolver;
   Presolver::Result reduced = presolver.reduce(model);
@@ -34,7 +36,7 @@ Solution solve(const LpModel& model, const SolverOptions& options) {
     s.status = *reduced.decided;
     return s;
   }
-  const Solution inner = solve_direct(reduced.reduced, options);
+  const Solution inner = solve_direct(reduced.reduced, options, budget);
   if (inner.status == SolveStatus::kInfeasible ||
       inner.status == SolveStatus::kUnbounded ||
       inner.status == SolveStatus::kNumericalFailure) {

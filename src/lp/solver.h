@@ -6,6 +6,7 @@
 // independent cross-check and for the solver ablation benchmark.
 #pragma once
 
+#include "lp/budget.h"
 #include "lp/model.h"
 #include "lp/status.h"
 
@@ -25,7 +26,10 @@ struct SolverOptions {
 };
 
 /// Solves the model with the selected method. Never throws on numerical
-/// trouble; inspect Solution::status.
-Solution solve(const LpModel& model, const SolverOptions& options = {});
+/// trouble; inspect Solution::status. A limited `budget` is charged per
+/// pivot/iteration; exhaustion yields kDeadlineExceeded with the best
+/// iterate so far (postsolved like any interrupted solution).
+Solution solve(const LpModel& model, const SolverOptions& options = {},
+               SolveBudget* budget = nullptr);
 
 }  // namespace postcard::lp

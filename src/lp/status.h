@@ -17,6 +17,11 @@ enum class SolveStatus {
   kUnbounded,
   kIterationLimit,
   kNumericalFailure,
+  // A SolveBudget (lp/budget.h) ran out mid-solve: the solution holds the
+  // best iterate reached so far, not a verified optimum. Distinct from
+  // kIterationLimit so callers can tell a cooperative cancellation (walk
+  // the degradation ladder) from a solver-local safety limit.
+  kDeadlineExceeded,
 };
 
 /// Human-readable status name (for logs and test diagnostics).
@@ -27,6 +32,7 @@ inline const char* to_string(SolveStatus s) {
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterationLimit: return "iteration_limit";
     case SolveStatus::kNumericalFailure: return "numerical_failure";
+    case SolveStatus::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

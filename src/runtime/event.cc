@@ -5,7 +5,7 @@ namespace postcard::runtime {
 int event_phase(const EventPayload& payload) {
   if (std::holds_alternative<FileArrival>(payload)) return 1;
   if (std::holds_alternative<SlotTick>(payload)) return 2;
-  return 0;  // LinkDown / LinkUp / CapacityChange
+  return 0;  // LinkDown / LinkUp / CapacityChange / SolverStall / SolverFault
 }
 
 std::uint64_t EventQueue::push(int slot, EventPayload payload) {

@@ -51,10 +51,33 @@ struct SlotTick {
   int slot = 0;
 };
 
-using EventPayload =
-    std::variant<LinkDown, LinkUp, CapacityChange, FileArrival, SlotTick>;
+/// Chaos injection: the slot's solve on `backend` (-1 = every backend)
+/// runs under a pivot budget of `pivot_budget`, simulating a solver that
+/// stalled and was cut off by the watchdog. Pivot budgets are
+/// deterministic, so a replay with the same stall schedule reproduces the
+/// degradation — and the cost series — bit for bit. One-shot: the override
+/// clears after the slot's solve.
+struct SolverStall {
+  int backend = -1;
+  long pivot_budget = 0;
+};
 
-/// Intra-slot ordering class: 0 network events, 1 arrivals, 2 the tick.
+/// Chaos injection: the slot's solve on `backend` (-1 = every backend)
+/// skips the leading degradation-ladder rungs (SolveControls::disable_rungs
+/// semantics: >= 1 forces the greedy fallback, >= 2 forces deferral).
+/// One-shot, like SolverStall.
+struct SolverFault {
+  int backend = -1;
+  int disable_rungs = 1;
+};
+
+using EventPayload = std::variant<LinkDown, LinkUp, CapacityChange,
+                                  FileArrival, SlotTick, SolverStall,
+                                  SolverFault>;
+
+/// Intra-slot ordering class: 0 network and solver-chaos events, 1
+/// arrivals, 2 the tick (so injected stalls/faults always precede the
+/// solve they are meant to hit).
 int event_phase(const EventPayload& payload);
 
 struct Event {

@@ -206,6 +206,8 @@ void ControllerRuntime::tick() {
   std::vector<net::FileRequest> late;  // arrived after this slot's solve
   bool solved = false;
   long link_events = 0;
+  long solver_stalls = 0;
+  long solver_faults = 0;
   Event event;
   while (queue_.pop_due(slot, &event)) {
     std::visit(
@@ -233,6 +235,23 @@ void ControllerRuntime::tick() {
               // stragglers join the next slot's batch instead of vanishing.
               (solved ? late : arrivals).push_back(e.file);
             },
+            [&](const SolverStall& e) {
+              ++solver_stalls;
+              for (std::size_t i = 0; i < backends_.size(); ++i) {
+                if (e.backend < 0 || e.backend == static_cast<int>(i)) {
+                  backends_[i]->injected_stall = std::max(0L, e.pivot_budget);
+                }
+              }
+            },
+            [&](const SolverFault& e) {
+              ++solver_faults;
+              for (std::size_t i = 0; i < backends_.size(); ++i) {
+                if (e.backend < 0 || e.backend == static_cast<int>(i)) {
+                  backends_[i]->injected_fault =
+                      std::max(backends_[i]->injected_fault, e.disable_rungs);
+                }
+              }
+            },
             [&](const SlotTick&) {
               if (!solved) {
                 solve_slot(slot, arrivals);
@@ -249,6 +268,8 @@ void ControllerRuntime::tick() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++slots_processed_;
   link_events_ += link_events;
+  solver_stalls_ += solver_stalls;
+  solver_faults_ += solver_faults;
   slot_latency_.add(elapsed_seconds(start));
 }
 
@@ -266,6 +287,8 @@ void ControllerRuntime::solve_slot(int slot,
     std::vector<net::FileRequest> batch;
     int groups = 1;          // 1 = live sequential solve
     std::size_t first = 0;   // index of the first TaskResult
+    double cost_before = 0.0;  // cost per interval entering the slot
+    bool degraded = false;     // any rung below full LP fired this slot
   };
 
   std::vector<BackendWork> work;
@@ -278,6 +301,26 @@ void ControllerRuntime::solve_slot(int slot,
     w.batch.insert(w.batch.end(), bp->replan_batch.begin(),
                    bp->replan_batch.end());
     bp->replan_batch.clear();
+    w.batch.insert(w.batch.end(), bp->carry_batch.begin(),
+                   bp->carry_batch.end());
+    bp->carry_batch.clear();
+    // Arm the slot watchdog BEFORE any snapshot clone is taken below:
+    // clones copy the controls, so split-batch groups and conflict
+    // re-solves run budgeted too. Called every slot (even when inactive)
+    // so one-shot chaos overrides from the previous slot are cleared.
+    sim::SolveControls controls;
+    if (options_.slot_pivot_budget > 0) {
+      controls.max_pivots = options_.slot_pivot_budget;
+    }
+    if (options_.slot_deadline_seconds > 0.0) {
+      controls.deadline_seconds = options_.slot_deadline_seconds;
+    }
+    if (bp->injected_stall >= 0) controls.max_pivots = bp->injected_stall;
+    if (bp->injected_fault > 0) controls.disable_rungs = bp->injected_fault;
+    bp->injected_stall = -1;
+    bp->injected_fault = 0;
+    bp->policy->set_solve_controls(controls);
+    w.cost_before = bp->policy->cost_per_interval();
     w.groups = 1;
     if (bp->postcard != nullptr && options_.parallel_groups > 1 &&
         w.batch.size() >= 2) {
@@ -347,6 +390,11 @@ void ControllerRuntime::solve_slot(int slot,
     (warm ? solve_latency_warm_ : solve_latency_cold_).add(seconds);
   };
 
+  // Did this outcome reach any rung below the full LP optimum?
+  auto outcome_degraded = [](const sim::ScheduleOutcome& o) {
+    return o.rung_truncated + o.rung_greedy > 0 || !o.deferred_ids.empty();
+  };
+
   // Single-writer phase: merge results in deterministic (backend, group)
   // order; grouped plans are validated against live residual capacity and
   // re-solved on the live controller when they no longer fit.
@@ -355,6 +403,7 @@ void ControllerRuntime::solve_slot(int slot,
     if (w.groups == 1) {
       TaskResult& r = results[w.first];
       record_outcome(b, slot, r.files, r.outcome);
+      w.degraded = outcome_degraded(r.outcome);
       if (b.postcard != nullptr) track_plans(b, slot, r.plans, r.files);
       if (b.flowbase != nullptr) {
         for (const flow::FlowAssignment& a : b.flowbase->last_assignments()) {
@@ -367,7 +416,12 @@ void ControllerRuntime::solve_slot(int slot,
       }
       std::lock_guard<std::mutex> lock(stats_mu_);
       add_solve_latency(r.outcome, r.seconds);
-      b.stats.cost_series.push_back(b.policy->cost_per_interval());
+      const double cost_after = b.policy->cost_per_interval();
+      if (w.degraded) {
+        ++b.stats.degraded_slots;
+        b.stats.degraded_cost_delta += cost_after - w.cost_before;
+      }
+      b.stats.cost_series.push_back(cost_after);
       b.stats.charge_reduce_violations =
           b.policy->charge_state().recorder().reduce_violations();
       continue;
@@ -398,6 +452,7 @@ void ControllerRuntime::solve_slot(int slot,
       if (fits) {
         b.postcard->commit_plans(r.plans);
         record_outcome(b, slot, r.files, r.outcome);
+        w.degraded = w.degraded || outcome_degraded(r.outcome);
         track_plans(b, slot, r.plans, r.files);
       } else {
         // Conflict: the groups' snapshot solves oversubscribed a link.
@@ -407,6 +462,7 @@ void ControllerRuntime::solve_slot(int slot,
         const sim::ScheduleOutcome live = b.postcard->schedule(slot, r.files);
         const double live_seconds = elapsed_seconds(t0);
         record_outcome(b, slot, r.files, live);
+        w.degraded = w.degraded || outcome_degraded(live);
         track_plans(b, slot, b.postcard->last_plans(), r.files);
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++b.stats.conflict_resolves;
@@ -416,7 +472,12 @@ void ControllerRuntime::solve_slot(int slot,
       add_solve_latency(r.outcome, r.seconds);
     }
     std::lock_guard<std::mutex> lock(stats_mu_);
-    b.stats.cost_series.push_back(b.policy->cost_per_interval());
+    const double cost_after = b.policy->cost_per_interval();
+    if (w.degraded) {
+      ++b.stats.degraded_slots;
+      b.stats.degraded_cost_delta += cost_after - w.cost_before;
+    }
+    b.stats.cost_series.push_back(cost_after);
     b.stats.charge_reduce_violations =
         b.policy->charge_state().recorder().reduce_violations();
   }
@@ -425,28 +486,66 @@ void ControllerRuntime::solve_slot(int slot,
 void ControllerRuntime::record_outcome(
     Backend& b, int slot, const std::vector<net::FileRequest>& batch,
     const sim::ScheduleOutcome& outcome) {
-  (void)slot;
-  std::unordered_map<int, double> size_of;
-  for (const net::FileRequest& f : batch) size_of[f.id] = f.size;
+  std::unordered_map<int, const net::FileRequest*> by_id;
+  for (const net::FileRequest& f : batch) by_id[f.id] = &f;
+  auto size_of = [&](int id) {
+    const auto it = by_id.find(id);
+    return it != by_id.end() ? it->second->size : 0.0;
+  };
+  // Store-in-place carryover (outside the stats lock: carry_batch is only
+  // touched by the single writer). A deferred file was neither accepted nor
+  // rejected; it re-enters the next slot's batch under the same id with one
+  // slot less deadline slack — or fails loudly when no slack remains.
+  long carried = 0, carry_failed = 0;
+  double carried_volume = 0.0, carry_failed_volume = 0.0;
+  for (int id : outcome.deferred_ids) {
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) continue;
+    const net::FileRequest& f = *it->second;
+    if (f.max_transfer_slots <= 1) {
+      ++carry_failed;
+      carry_failed_volume += f.size;
+      continue;
+    }
+    net::FileRequest carry = f;
+    carry.release_slot = slot + 1;
+    carry.max_transfer_slots -= 1;
+    b.carry_batch.push_back(carry);
+    ++carried;
+    carried_volume += f.size;
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   b.stats.lp_iterations += outcome.lp_iterations;
   b.stats.lp_solves += outcome.lp_solves;
   b.stats.warm_accepts += outcome.warm_accepts;
   b.stats.cold_starts += outcome.cold_starts;
+  b.stats.rung_full += outcome.rung_full;
+  b.stats.rung_truncated += outcome.rung_truncated;
+  b.stats.rung_greedy += outcome.rung_greedy;
+  b.stats.solver_failures += outcome.solver_failures;
+  if (!outcome.solver_status.empty()) {
+    b.stats.last_solver_status = outcome.solver_status;
+  }
+  b.stats.gave_up_files += outcome.gave_up_files;
+  b.stats.gave_up_volume += outcome.gave_up_volume;
+  b.stats.carryover_files += carried;
+  b.stats.carryover_volume += carried_volume;
+  b.stats.failed_files += carry_failed;
+  b.stats.failed_volume += carry_failed_volume;
   for (int id : outcome.accepted_ids) {
     if (is_synthetic(id)) continue;  // fragment volume counted at admission
     ++b.stats.accepted_files;
-    b.stats.accepted_volume += size_of[id];
+    b.stats.accepted_volume += size_of(id);
   }
   for (int id : outcome.rejected_ids) {
     if (is_synthetic(id)) {
       // A replan fragment the solver could not place: the original file
       // cannot finish — loud failure, not a silent drop.
       ++b.stats.failed_files;
-      b.stats.failed_volume += size_of[id];
+      b.stats.failed_volume += size_of(id);
     } else {
       ++b.stats.rejected_files;
-      b.stats.rejected_volume += size_of[id];
+      b.stats.rejected_volume += size_of(id);
     }
   }
 }
@@ -501,6 +600,17 @@ void ControllerRuntime::retire_completed(int before_slot) {
 
 void ControllerRuntime::flush_in_flight() {
   retire_completed(std::numeric_limits<int>::max());
+  // Carryover files deferred at the final slot never got re-solved; they
+  // fail loudly rather than vanish from the accounting identity.
+  for (auto& bp : backends_) {
+    if (bp->carry_batch.empty()) continue;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const net::FileRequest& f : bp->carry_batch) {
+      ++bp->stats.failed_files;
+      bp->stats.failed_volume += f.size;
+    }
+    bp->carry_batch.clear();
+  }
 }
 
 void ControllerRuntime::run(int num_slots) {
@@ -527,6 +637,8 @@ RuntimeStats ControllerRuntime::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   s.slots_processed = slots_processed_;
   s.link_events = link_events_;
+  s.solver_stalls = solver_stalls_;
+  s.solver_faults = solver_faults_;
   s.slot_latency = slot_latency_;
   s.solve_latency = solve_latency_;
   s.solve_latency_warm = solve_latency_warm_;

@@ -68,6 +68,15 @@ struct RuntimeOptions {
   double capacity_tolerance = 1e-6;
   /// Holdings below this volume are dust and not replanned.
   double volume_epsilon = 1e-9;
+  /// Slot watchdog (degradation ladder; see DESIGN.md §9). A positive
+  /// pivot budget caps the total simplex pivots each backend may spend per
+  /// slot — deterministic, so replays degrade identically. A positive
+  /// deadline caps wall-clock seconds per slot solve (production mode; NOT
+  /// deterministic). 0 disables. In split-batch mode every group task and
+  /// conflict re-solve gets its own budget of this size, bounding each
+  /// task rather than their sum.
+  long slot_pivot_budget = 0;
+  double slot_deadline_seconds = 0.0;
 };
 
 class ControllerRuntime {
@@ -102,6 +111,16 @@ class ControllerRuntime {
   void restore_link(int slot, int link) { queue_.push(slot, LinkUp{link}); }
   void change_capacity(int slot, int link, double capacity) {
     queue_.push(slot, CapacityChange{link, capacity});
+  }
+  /// Chaos: run `slot`'s solve under `pivot_budget` pivots (one-shot,
+  /// backend -1 = all). Deterministic — replays degrade identically.
+  void stall_solver(int slot, long pivot_budget, int backend = -1) {
+    queue_.push(slot, SolverStall{backend, pivot_budget});
+  }
+  /// Chaos: skip ladder rungs at `slot` (one-shot; disable_rungs >= 1
+  /// forces the greedy fallback, >= 2 forces store-in-place deferral).
+  void fault_solver(int slot, int disable_rungs = 1, int backend = -1) {
+    queue_.push(slot, SolverFault{backend, disable_rungs});
   }
 
   // --- Driving (one thread) ---------------------------------------------
@@ -152,6 +171,15 @@ class ControllerRuntime {
     std::unordered_map<int, InFlightPlan> plans;
     std::unordered_map<int, InFlightFlow> flows;
     std::vector<net::FileRequest> replan_batch;  // re-injected this slot
+    // Store-in-place carryover: files the degradation ladder deferred,
+    // re-enqueued into the next slot's batch with one slot less deadline
+    // slack. Per-backend (unlike the shared event queue) because each
+    // backend defers independently.
+    std::vector<net::FileRequest> carry_batch;
+    // One-shot chaos overrides armed by SolverStall / SolverFault events;
+    // consumed (reset) by the next solve_slot.
+    long injected_stall = -1;  // pivot budget, -1 = none
+    int injected_fault = 0;    // disable_rungs, 0 = none
     // Split-batch mode: per-group cross-slot warm caches. Snapshot clones
     // are transient, so the driver moves cache g into group g's clone
     // before the solve and back out of its result after the barrier.
@@ -192,6 +220,8 @@ class ControllerRuntime {
   mutable std::mutex stats_mu_;  // guards the merged snapshot fields below
   int slots_processed_ = 0;
   long link_events_ = 0;
+  long solver_stalls_ = 0;
+  long solver_faults_ = 0;
   LatencyHistogram slot_latency_;
   LatencyHistogram solve_latency_;
   LatencyHistogram solve_latency_warm_;  // solves whose first master was warm

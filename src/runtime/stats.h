@@ -63,6 +63,30 @@ struct BackendStats {
   // the slot held (beyond rounding noise). Always 0 in a correct engine;
   // nonzero pinpoints a double-uncommit or a commit/uncommit mismatch.
   long charge_reduce_violations = 0;
+  // ---- Degradation ladder (slot watchdog; see DESIGN.md §9). Per-rung
+  // slot counts: full LP optimum committed / budget-truncated incumbent
+  // committed / files placed by the greedy fallback. All zero unless a
+  // budget or injected fault is active.
+  long rung_full = 0;
+  long rung_truncated = 0;
+  long rung_greedy = 0;
+  // Store-in-place carryover (the last rung): deferred files re-enqueued
+  // into the next slot's batch with one slot less deadline slack. Files
+  // deferred with no slack left land in failed_files/failed_volume.
+  long carryover_files = 0;
+  double carryover_volume = 0.0;
+  // Slots where any rung below full LP fired, and the cost-per-interval
+  // increase accumulated across exactly those slots (ablation handle:
+  // what the degradation cost relative to the charge level it started at).
+  long degraded_slots = 0;
+  double degraded_cost_delta = 0.0;
+  // Solver-failure visibility: slot solves that ended non-optimal, with
+  // the most recent status string (lp::to_string / "fault_injected").
+  long solver_failures = 0;
+  std::string last_solver_status;
+  // Greedy chunk-budget exhaustion (max_chunks_per_file ran out).
+  long gave_up_files = 0;
+  double gave_up_volume = 0.0;
   std::vector<double> cost_series;  // cost per interval after each slot
 };
 
@@ -77,6 +101,9 @@ struct RuntimeStats {
   double ingress_rejected_volume = 0.0;
   // Network dynamics.
   long link_events = 0;
+  // Chaos injection: SolverStall / SolverFault events processed.
+  long solver_stalls = 0;
+  long solver_faults = 0;
   // Latency: whole-slot processing and individual solve tasks. The solve
   // histogram is additionally split by how the slot's first master solve
   // started (warm-accepted vs. cold); solves with no LP at all (empty

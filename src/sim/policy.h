@@ -28,6 +28,46 @@ struct ScheduleOutcome {
   // vs. solves that ran from a cold start (none seeded, or rejected).
   int warm_accepts = 0;
   int cold_starts = 0;
+
+  // ---- Degradation-ladder accounting (policies without a ladder leave
+  // everything below zero/empty; active only under SolveControls).
+  // Rung reached this slot: full LP optimum / budget-truncated CG committing
+  // the incumbent master / greedy shortest-path fallback for files the
+  // truncated master left unrouted. At most one of rung_full/rung_truncated
+  // is set per slot; rung_greedy counts files routed by the fallback.
+  int rung_full = 0;
+  int rung_truncated = 0;
+  int rung_greedy = 0;
+  // Files neither the (truncated) LP nor the greedy fallback could place
+  // this slot. They were NOT accepted and NOT rejected-for-capacity: the
+  // caller decides between store-in-place carryover and loud failure.
+  std::vector<int> deferred_ids;
+  double deferred_volume = 0.0;
+  // Solver-failure visibility ("no silent drop" rule): count of slot solves
+  // that ended non-optimal, and the last such status (lp::to_string form).
+  long solver_failures = 0;
+  std::string solver_status;
+  // Greedy chunk-budget exhaustion: volume abandoned because
+  // max_chunks_per_file ran out, not because the network was full.
+  long gave_up_files = 0;
+  double gave_up_volume = 0.0;
+};
+
+/// Per-slot solve budget and ladder controls, pushed by the runtime's
+/// watchdog before each schedule() call. Pivot budgets are deterministic
+/// (bit-for-bit replays); wall-clock deadlines are for production.
+struct SolveControls {
+  long max_pivots = -1;          // total simplex pivots per slot; -1 unlimited
+  double deadline_seconds = -1.0;  // wall-clock per slot; < 0 unlimited
+  // Fault injection / chaos: disable the leading ladder rungs. >= 1
+  // disables the column-generation rungs (as if the solver faulted before
+  // its first master solve, forcing the greedy fallback), >= 2 disables
+  // the greedy fallback too, leaving only store-in-place deferral.
+  int disable_rungs = 0;
+
+  bool active() const {
+    return max_pivots >= 0 || deadline_seconds >= 0.0 || disable_rungs > 0;
+  }
 };
 
 class SchedulingPolicy {
@@ -50,6 +90,15 @@ class SchedulingPolicy {
   /// the policy does not support network dynamics — the runtime then skips
   /// failure handling for this backend and records the event as unhandled.
   virtual bool set_link_capacity(int /*link*/, double /*capacity*/) {
+    return false;
+  }
+
+  /// Installs the solve budget / degradation controls applied to every
+  /// subsequent schedule() call (sticky until replaced; a default-constructed
+  /// SolveControls restores unlimited solves). Returns false when the policy
+  /// has no budget support — the runtime then records the watchdog as
+  /// unarmed for this backend instead of assuming protection.
+  virtual bool set_solve_controls(const SolveControls& /*controls*/) {
     return false;
   }
 

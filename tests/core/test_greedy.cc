@@ -122,5 +122,50 @@ TEST(Greedy, NoStorageOptionForbidsIntermediateHolding) {
   }
 }
 
+TEST(Greedy, ChunkBudgetExhaustionIsLoudAndRollsBack) {
+  // One link, ample capacity, deadline 2: the spreading heuristic caps the
+  // first (and only) chunk at remaining/2 = 25 GB, so a 1-chunk budget
+  // abandons 25 GB — that volume must land in the gave_up counters, not be
+  // folded into a plain capacity reject, and nothing may stay committed.
+  net::Topology t(2);
+  t.set_link(0, 1, 100.0, 1.0);
+  GreedyOptions opts;
+  opts.max_chunks_per_file = 1;
+  GreedyScheduler greedy{net::Topology(t), opts};
+  const auto outcome = greedy.schedule(0, {file(7, 0, 1, 50.0, 2, 0)});
+  EXPECT_EQ(outcome.rejected_ids, std::vector<int>{7});
+  EXPECT_NEAR(outcome.rejected_volume, 50.0, 1e-9);
+  EXPECT_EQ(outcome.gave_up_files, 1);
+  EXPECT_NEAR(outcome.gave_up_volume, 25.0, 1e-9);
+  EXPECT_NEAR(greedy.cost_per_interval(), 0.0, 1e-12);
+  EXPECT_NEAR(greedy.charge_state().committed(0, 0), 0.0, 1e-12);
+}
+
+TEST(Greedy, RouteFileFreeFunctionDistinguishesFailureModes) {
+  net::Topology t(2);
+  t.set_link(0, 1, 100.0, 1.0);
+  GreedyOptions opts;
+  opts.max_chunks_per_file = 1;
+  charging::ChargeState state(t.num_links());
+  FilePlan plan;
+  double gave_up = 0.0;
+  // Chunk budget exhaustion: reports the abandoned volume, state untouched.
+  EXPECT_EQ(greedy_route_file(t, opts, file(1, 0, 1, 50.0, 2, 0), state, plan,
+                              &gave_up),
+            GreedyRoute::kChunkLimit);
+  EXPECT_NEAR(gave_up, 25.0, 1e-9);
+  EXPECT_NEAR(state.committed(0, 0), 0.0, 1e-12);
+  // No path at all (wrong direction) is a different verdict.
+  EXPECT_EQ(greedy_route_file(t, opts, file(2, 1, 0, 10.0, 2, 0), state, plan,
+                              nullptr),
+            GreedyRoute::kNoPath);
+  // A routable file commits into the caller's state.
+  GreedyOptions ample;
+  EXPECT_EQ(greedy_route_file(t, ample, file(3, 0, 1, 50.0, 2, 0), state, plan,
+                              nullptr),
+            GreedyRoute::kRouted);
+  EXPECT_GT(state.committed(0, 0) + state.committed(0, 1), 0.0);
+}
+
 }  // namespace
 }  // namespace postcard::core

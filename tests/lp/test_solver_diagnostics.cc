@@ -82,6 +82,62 @@ TEST(SolverDiagnostics, StatusToStringCoversAllValues) {
   EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
   EXPECT_STREQ(to_string(SolveStatus::kIterationLimit), "iteration_limit");
   EXPECT_STREQ(to_string(SolveStatus::kNumericalFailure), "numerical_failure");
+  EXPECT_STREQ(to_string(SolveStatus::kDeadlineExceeded), "deadline_exceeded");
+}
+
+TEST(SolveBudget, PivotLimitIsStickyAndDeterministic) {
+  SolveBudget b = SolveBudget::pivot_limit(2);
+  EXPECT_TRUE(b.limited());
+  EXPECT_TRUE(b.charge());
+  EXPECT_TRUE(b.charge());
+  EXPECT_FALSE(b.charge());
+  EXPECT_FALSE(b.charge());  // exhaustion is sticky
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.charged(), 2);
+}
+
+TEST(SolveBudget, UnlimitedByDefault) {
+  SolveBudget b;
+  EXPECT_FALSE(b.limited());
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(b.charge());
+  EXPECT_FALSE(b.exhausted());
+}
+
+TEST(SolveBudget, ExpiredDeadlineExhaustsImmediately) {
+  SolveBudget b = SolveBudget::deadline(0.0);
+  EXPECT_TRUE(b.limited());
+  EXPECT_FALSE(b.charge());
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(SolverDiagnostics, ZeroPivotBudgetCutsSimplexCooperatively) {
+  SolveBudget b = SolveBudget::pivot_limit(0);
+  const Solution s = RevisedSimplex().solve(dantzig(), nullptr, &b);
+  EXPECT_EQ(s.status, SolveStatus::kDeadlineExceeded);
+  EXPECT_EQ(s.iterations, 0);
+}
+
+TEST(SolverDiagnostics, GenerousBudgetLeavesSolveBitForBitIdentical) {
+  const Solution reference = RevisedSimplex().solve(dantzig());
+  SolveBudget b = SolveBudget::pivot_limit(100000);
+  const Solution s = RevisedSimplex().solve(dantzig(), nullptr, &b);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.objective, reference.objective);
+  EXPECT_EQ(s.x, reference.x);
+  EXPECT_EQ(s.iterations, reference.iterations);
+  EXPECT_GT(b.charged(), 0);
+}
+
+TEST(SolverDiagnostics, FacadeThreadsBudgetToBothMethods) {
+  SolveBudget simplex_budget = SolveBudget::pivot_limit(0);
+  const Solution a = solve(dantzig(), SolverOptions{}, &simplex_budget);
+  EXPECT_EQ(a.status, SolveStatus::kDeadlineExceeded);
+
+  SolverOptions ipm_opts;
+  ipm_opts.method = Method::kInteriorPoint;
+  SolveBudget ipm_budget = SolveBudget::pivot_limit(0);
+  const Solution b = solve(dantzig(), ipm_opts, &ipm_budget);
+  EXPECT_EQ(b.status, SolveStatus::kDeadlineExceeded);
 }
 
 }  // namespace
