@@ -28,8 +28,20 @@ ctest --test-dir build-tsan -L "runtime|chaos" --output-on-failure \
 # pointer structures (the order-statistic treap) and cross-thread handoff.
 cmake --preset asan
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan -L "charging|runtime|chaos" --output-on-failure \
-  -j "${JOBS}" 2>&1 | tee -a test_output.txt
+ctest --test-dir build-asan -L "charging|runtime|chaos|audit" \
+  --output-on-failure -j "${JOBS}" 2>&1 | tee -a test_output.txt
+
+# Standalone UBSan pass (works under GCC; +float-divide-by-zero, which the
+# combined ASan preset does not enable): charging, runtime, chaos, the LP
+# kernels, and the plan-audit suites.
+cmake --preset ubsan
+cmake --build build-ubsan -j "${JOBS}"
+ctest --test-dir build-ubsan -L "charging|runtime|chaos|lp|audit" \
+  --output-on-failure -j "${JOBS}" 2>&1 | tee -a test_output.txt
+
+# Static-analysis gate: clang thread-safety analysis + clang-tidy. Skips
+# loudly (exit 0) when clang is not installed — see the script header.
+scripts/check_tidy.sh 2>&1 | tee -a test_output.txt
 
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

@@ -6,7 +6,12 @@ import sys
 path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
 rows = []
 for line in open(path):
-    m = re.match(r"(BM_\S+)\s", line)
+    # BM_-prefixed rows are the paper-figure benches; the bare-named rows
+    # (RuntimeReplay/..., AuditedReplay/audit:1, ...) are the runtime and
+    # audit benches — accept either as long as it is a timing row.
+    m = re.match(r"(BM_\S+)\s", line) or (
+        re.search(r"\d\s+ns\s", line) and re.match(r"([A-Za-z]\w*\S*)\s", line)
+    )
     if not m:
         continue
     name = m.group(1)
@@ -30,7 +35,9 @@ for line in open(path):
         cells.append(f"rej {100*rej:.1f}%")
     for extra in ("delivered_gb", "objective", "percentile", "budget",
                   "cost_delta", "degraded_slots", "rung_truncated",
-                  "rung_greedy", "carryover", "cost_vs_clean"):
+                  "rung_greedy", "carryover", "cost_vs_clean",
+                  "audit_checks", "audit_violations", "audit_ms",
+                  "audit_share_pct", "audit_us_per_slot"):
         v = num(extra)
         if v is not None:
             cells.append(f"{extra}={v:.1f}")

@@ -1,0 +1,51 @@
+// Annotated mutex wrappers for Clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so code using them directly cannot be checked by -Wthread-safety even
+// with GUARDED_BY members. These thin wrappers add the attributes and
+// nothing else: base::Mutex is a std::mutex declared as a capability,
+// base::MutexLock is a scoped lock the analysis can follow. Code that must
+// interoperate with std APIs (condition-variable waits) reaches the
+// underlying std::mutex through native(), inside a function explicitly
+// opted out of the analysis (NO_THREAD_SAFETY_ANALYSIS) — TSAN still
+// checks those paths at runtime.
+#pragma once
+
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace postcard::base {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for std::condition_variable waits. Callers
+  /// manage the capability state themselves (NO_THREAD_SAFETY_ANALYSIS).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard equivalent the analysis understands.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace postcard::base

@@ -1,0 +1,66 @@
+// Portable Clang thread-safety-analysis macros.
+//
+// Lock contracts that used to live in comments ("guards the capacity
+// view", "caller holds stats_mu_") become attributes the compiler checks:
+// building with clang and -Wthread-safety -Werror (the `tidy` preset)
+// turns every lock-discipline regression into a build failure. Under GCC
+// (which has no such analysis) every macro expands to nothing, so the
+// annotations cost nothing in the default build; TSAN remains the runtime
+// detector for the patterns static analysis cannot see.
+//
+// The macro set follows the standard Clang vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Annotate with
+// the *capability* forms: GUARDED_BY on data, REQUIRES on functions that
+// expect the caller to hold the lock, EXCLUDES on functions that take the
+// lock themselves (so holding it on entry would deadlock).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  POSTCARD_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -51,6 +51,10 @@ class ChargeState {
   /// Full per-slot history, for ex-post q-percentile accounting.
   const PercentileRecorder& recorder() const { return recorder_; }
 
+  /// TEST ONLY: writable recorder so the audit mutation tests can seed
+  /// treap/series desyncs (PercentileRecorder::corrupt_series_for_test).
+  PercentileRecorder& mutable_recorder_for_test() { return recorder_; }
+
  private:
   PercentileRecorder recorder_;
   std::vector<double> charged_;

@@ -109,6 +109,23 @@ double PercentileRecorder::charged_volume_sorted(int link, double q,
   return sorted[static_cast<std::size_t>(k) - 1];
 }
 
+void PercentileRecorder::corrupt_series_for_test(int link, int slot,
+                                                 double value) {
+  if (link < 0 || link >= num_links()) throw std::out_of_range("bad link");
+  if (slot < 0) throw std::out_of_range("negative slot");
+  auto& s = series_[link];
+  if (slot >= static_cast<int>(s.size())) {
+    // Keep the tree consistent for the gap (one entry per stored slot) so
+    // only the targeted slot desynchronizes.
+    for (int n = static_cast<int>(s.size()); n <= slot; ++n) {
+      order_[link].insert(0.0, n);
+    }
+    s.resize(static_cast<std::size_t>(slot) + 1, 0.0);
+  }
+  s[slot] = value;  // deliberately NOT mirrored into order_[link]
+  num_slots_ = std::max(num_slots_, slot + 1);
+}
+
 double PercentileRecorder::total_cost(const std::vector<CostFunction>& link_costs,
                                       double q, int period_slots) const {
   if (static_cast<int>(link_costs.size()) != num_links()) {

@@ -87,6 +87,13 @@ class PercentileRecorder {
   double total_cost(const std::vector<CostFunction>& link_costs, double q,
                     int period_slots) const;
 
+  /// TEST ONLY: writes `value` into the raw series WITHOUT updating the
+  /// order-statistic tree, desynchronizing the incremental path from the
+  /// copy+sort oracle. Exists so the audit mutation tests can prove the
+  /// auditor's charge-consistency check detects exactly this failure mode;
+  /// production code has no reason to call it.
+  void corrupt_series_for_test(int link, int slot, double value);
+
  private:
   /// Rewrites link's slot volume to `value`, keeping series and tree in step.
   void set_volume(int link, int slot, double value);

@@ -1,8 +1,12 @@
 #include "core/postcard.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <stdexcept>
 
+#include "audit/audit.h"
 #include "core/column_generation.h"
 #include "core/greedy.h"
 
@@ -174,7 +178,52 @@ sim::ScheduleOutcome PostcardController::schedule(
       }
     }
   }
+
+  if (audit_controls_.active()) run_audit(slot, files, outcome);
   return outcome;
+}
+
+void PostcardController::run_audit(int slot,
+                                   const std::vector<net::FileRequest>& files,
+                                   sim::ScheduleOutcome& outcome) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  audit::AuditOptions options;
+  options.tolerance = audit_controls_.tolerance;
+  options.check_charge_consistency = audit_controls_.check_charge_consistency;
+
+  std::vector<audit::PlannedFile> planned;
+  planned.reserve(last_plans_.size());
+  for (const FilePlan& plan : last_plans_) {
+    const auto it = std::find_if(files.begin(), files.end(),
+                                 [&](const net::FileRequest& f) {
+                                   return f.id == plan.file_id;
+                                 });
+    if (it == files.end()) continue;
+    planned.push_back({*it, &plan});
+  }
+  audit::AuditReport report =
+      audit::audit_slot_plans(slot, planned, topology_, charge_, options);
+  report.merge(audit::audit_charge_state(charge_, topology_, options));
+
+  ++outcome.audit_checks;
+  outcome.audit_violations += static_cast<long>(report.violations.size());
+  for (const audit::Violation& v : report.violations) {
+    if (static_cast<int>(outcome.audit_reports.size()) >=
+        audit_controls_.max_reports) {
+      break;
+    }
+    outcome.audit_reports.push_back(v.format());
+  }
+  outcome.audit_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (report.ok()) return;
+  if (audit_controls_.mode == sim::AuditControls::Mode::kFailFast) {
+    throw std::logic_error(name() + " slot " + std::to_string(slot) + " " +
+                           report.summary());
+  }
+  std::fprintf(stderr, "[audit] %s slot %d %s\n", name().c_str(), slot,
+               report.summary().c_str());
 }
 
 bool PostcardController::try_schedule(int slot,

@@ -90,6 +90,15 @@ class PostcardController : public sim::SchedulingPolicy {
     return true;
   }
 
+  /// Arms the plan auditor: every subsequent schedule() re-verifies the
+  /// committed plans against the paper invariants (src/audit) and reports
+  /// through ScheduleOutcome::audit_*; kFailFast throws std::logic_error
+  /// on the first violating slot.
+  bool set_audit_controls(const sim::AuditControls& controls) override {
+    audit_controls_ = controls;
+    return true;
+  }
+
   /// Deep copy sharing nothing with *this: the runtime's parallel
   /// split-batch mode solves sub-batches on snapshot clones while the live
   /// controller keeps sole write ownership of the charge state.
@@ -126,12 +135,17 @@ class PostcardController : public sim::SchedulingPolicy {
                     std::vector<int>& unroutable_ids, lp::SolveBudget* budget,
                     bool* truncated, lp::SolveStatus* status);
 
+  /// Post-commit audit of last_plans_ + the charge state (see AuditControls).
+  void run_audit(int slot, const std::vector<net::FileRequest>& files,
+                 sim::ScheduleOutcome& outcome) const;
+
   net::Topology topology_;
   PostcardOptions options_;
   charging::ChargeState charge_;
   std::vector<FilePlan> last_plans_;
   MasterWarmCache warm_cache_;
   sim::SolveControls controls_;
+  sim::AuditControls audit_controls_;
 };
 
 }  // namespace postcard::core

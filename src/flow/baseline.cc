@@ -1,7 +1,12 @@
 #include "flow/baseline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "audit/flow_audit.h"
 
 namespace postcard::flow {
 
@@ -35,6 +40,56 @@ double FlowBaseline::residual_capacity(int link, int slot) const {
 }
 
 sim::ScheduleOutcome FlowBaseline::schedule(
+    int slot, const std::vector<net::FileRequest>& files) {
+  sim::ScheduleOutcome outcome = schedule_impl(slot, files);
+  if (audit_controls_.active()) run_audit(slot, files, outcome);
+  return outcome;
+}
+
+void FlowBaseline::run_audit(int slot,
+                             const std::vector<net::FileRequest>& files,
+                             sim::ScheduleOutcome& outcome) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  audit::AuditOptions options;
+  options.tolerance = audit_controls_.tolerance;
+  options.check_charge_consistency = audit_controls_.check_charge_consistency;
+
+  std::vector<audit::PlannedFlow> planned;
+  planned.reserve(last_assignments_.size());
+  for (const FlowAssignment& a : last_assignments_) {
+    const auto it = std::find_if(files.begin(), files.end(),
+                                 [&](const net::FileRequest& f) {
+                                   return f.id == a.file_id;
+                                 });
+    if (it == files.end()) continue;
+    planned.push_back({*it, &a});
+  }
+  audit::AuditReport report =
+      audit::audit_flow_assignments(slot, planned, topology_, charge_, options);
+  report.merge(audit::audit_charge_state(charge_, topology_, options));
+
+  ++outcome.audit_checks;
+  outcome.audit_violations += static_cast<long>(report.violations.size());
+  for (const audit::Violation& v : report.violations) {
+    if (static_cast<int>(outcome.audit_reports.size()) >=
+        audit_controls_.max_reports) {
+      break;
+    }
+    outcome.audit_reports.push_back(v.format());
+  }
+  outcome.audit_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (report.ok()) return;
+  if (audit_controls_.mode == sim::AuditControls::Mode::kFailFast) {
+    throw std::logic_error(name() + " slot " + std::to_string(slot) + " " +
+                           report.summary());
+  }
+  std::fprintf(stderr, "[audit] %s slot %d %s\n", name().c_str(), slot,
+               report.summary().c_str());
+}
+
+sim::ScheduleOutcome FlowBaseline::schedule_impl(
     int slot, const std::vector<net::FileRequest>& files) {
   sim::ScheduleOutcome outcome;
   last_assignments_.clear();

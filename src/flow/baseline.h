@@ -82,6 +82,15 @@ class FlowBaseline : public sim::SchedulingPolicy {
     return true;
   }
 
+  /// Arms the plan auditor: every subsequent schedule() re-verifies the
+  /// committed assignments against the paper invariants (src/audit) and
+  /// reports through ScheduleOutcome::audit_*; kFailFast throws
+  /// std::logic_error on the first violating slot.
+  bool set_audit_controls(const sim::AuditControls& controls) override {
+    audit_controls_ = controls;
+    return true;
+  }
+
   /// Rolls the committed tail of `assignment` (slots >= from_slot) back
   /// out of the charge state: a link failure stopped the flow before its
   /// remaining volume was carried.
@@ -90,6 +99,15 @@ class FlowBaseline : public sim::SchedulingPolicy {
  private:
   /// Residual physical capacity of `link` during `slot`.
   double residual_capacity(int link, int slot) const;
+
+  /// schedule() minus the audit: the admission loop has several exits, so
+  /// the audit wraps this instead of guarding every return.
+  sim::ScheduleOutcome schedule_impl(int slot,
+                                     const std::vector<net::FileRequest>& files);
+
+  /// Post-commit audit of last_assignments_ + the charge state.
+  void run_audit(int slot, const std::vector<net::FileRequest>& files,
+                 sim::ScheduleOutcome& outcome) const;
 
   /// Attempts to schedule the whole batch; fills `assignments` and returns
   /// true on success. No state is committed on failure. `status` reports
@@ -105,6 +123,7 @@ class FlowBaseline : public sim::SchedulingPolicy {
   charging::ChargeState charge_;
   std::vector<FlowAssignment> last_assignments_;
   sim::SolveControls controls_;
+  sim::AuditControls audit_controls_;
 };
 
 }  // namespace postcard::flow

@@ -9,14 +9,14 @@ int event_phase(const EventPayload& payload) {
 }
 
 std::uint64_t EventQueue::push(int slot, EventPayload payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   const std::uint64_t seq = next_seq_++;
   heap_.push(Entry{slot, event_phase(payload), seq, std::move(payload)});
   return seq;
 }
 
 bool EventQueue::pop_due(int slot, Event* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (heap_.empty() || heap_.top().slot > slot) return false;
   const Entry& top = heap_.top();
   out->slot = top.slot;
@@ -27,17 +27,17 @@ bool EventQueue::pop_due(int slot, Event* out) {
 }
 
 int EventQueue::next_slot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return heap_.empty() ? -1 : heap_.top().slot;
 }
 
 std::size_t EventQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return heap_.size();
 }
 
 std::uint64_t EventQueue::pushed_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return next_seq_;
 }
 

@@ -12,11 +12,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <queue>
 #include <variant>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "net/file_request.h"
 
 namespace postcard::runtime {
@@ -93,17 +94,17 @@ struct Event {
 class EventQueue {
  public:
   /// Enqueues `payload` to fire at `slot`; returns its sequence number.
-  std::uint64_t push(int slot, EventPayload payload);
+  std::uint64_t push(int slot, EventPayload payload) EXCLUDES(mu_);
 
   /// Pops the least (slot, phase, seq) event with slot <= `slot` into
   /// `*out`. Returns false when nothing is due yet.
-  bool pop_due(int slot, Event* out);
+  bool pop_due(int slot, Event* out) EXCLUDES(mu_);
 
   /// Slot of the earliest pending event, or -1 when empty.
-  int next_slot() const;
+  int next_slot() const EXCLUDES(mu_);
 
-  std::size_t depth() const;
-  std::uint64_t pushed_total() const;
+  std::size_t depth() const EXCLUDES(mu_);
+  std::uint64_t pushed_total() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -120,9 +121,9 @@ class EventQueue {
     }
   };
 
-  mutable std::mutex mu_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::uint64_t next_seq_ = 0;
+  mutable base::Mutex mu_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace postcard::runtime

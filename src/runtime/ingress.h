@@ -19,10 +19,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "net/file_request.h"
 #include "net/topology.h"
 #include "runtime/event.h"
@@ -43,10 +44,10 @@ class RequestIngress {
 
   /// Thread-safe: admits or rejects `file`. Admitted files are pushed into
   /// the event queue as FileArrival events.
-  AdmissionResult submit(const net::FileRequest& file);
+  AdmissionResult submit(const net::FileRequest& file) EXCLUDES(mu_);
 
   /// Mirrors a network event into the admission capacity view.
-  void set_link_capacity(int link, double capacity);
+  void set_link_capacity(int link, double capacity) EXCLUDES(mu_);
 
   /// The runtime advances this as slots complete; submissions with an
   /// earlier release slot are re-stamped to `now`.
@@ -55,7 +56,7 @@ class RequestIngress {
   long submitted() const { return submitted_.load(std::memory_order_relaxed); }
   long admitted() const { return admitted_.load(std::memory_order_relaxed); }
   long rejected() const { return rejected_.load(std::memory_order_relaxed); }
-  double rejected_volume() const;
+  double rejected_volume() const EXCLUDES(mu_);
 
  private:
   EventQueue& queue_;
@@ -64,11 +65,11 @@ class RequestIngress {
   std::atomic<long> admitted_{0};
   std::atomic<long> rejected_{0};
 
-  mutable std::mutex mu_;  // guards capacity view + rejected volume
-  net::Topology topology_;
-  std::vector<double> egress_;   // live egress capacity per datacenter
-  std::vector<double> ingress_;  // live ingress capacity per datacenter
-  double rejected_volume_ = 0.0;
+  mutable base::Mutex mu_;
+  net::Topology topology_ GUARDED_BY(mu_);
+  std::vector<double> egress_ GUARDED_BY(mu_);   // live egress per datacenter
+  std::vector<double> ingress_ GUARDED_BY(mu_);  // live ingress per datacenter
+  double rejected_volume_ GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace postcard::runtime

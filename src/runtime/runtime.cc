@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
+
+#include "audit/audit.h"
 
 namespace postcard::runtime {
 namespace {
@@ -51,6 +54,8 @@ int ControllerRuntime::add_postcard_backend(core::PostcardOptions options) {
   backend->postcard = controller.get();
   backend->policy = std::move(controller);
   backend->stats.name = backend->policy->name();
+  backend->stats.audit_armed = options_.audit.active() &&
+                               backend->policy->set_audit_controls(options_.audit);
   backends_.push_back(std::move(backend));
   return num_backends() - 1;
 }
@@ -62,6 +67,8 @@ int ControllerRuntime::add_flow_backend(flow::FlowBaselineOptions options) {
   backend->flowbase = baseline.get();
   backend->policy = std::move(baseline);
   backend->stats.name = backend->policy->name();
+  backend->stats.audit_armed = options_.audit.active() &&
+                               backend->policy->set_audit_controls(options_.audit);
   backends_.push_back(std::move(backend));
   return num_backends() - 1;
 }
@@ -71,6 +78,10 @@ int ControllerRuntime::add_backend(
   auto backend = std::make_unique<Backend>();
   backend->policy = std::move(policy);
   backend->stats.name = backend->policy->name();
+  // Generic policies may not support audits; audit_armed records the truth
+  // so dashboards never assume coverage that is not there.
+  backend->stats.audit_armed = options_.audit.active() &&
+                               backend->policy->set_audit_controls(options_.audit);
   backends_.push_back(std::move(backend));
   return num_backends() - 1;
 }
@@ -122,7 +133,7 @@ void ControllerRuntime::invalidate_plans(Backend& b, int slot, int link) {
       holdings.erase(it);
     }
     if (arrived > 0.0) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      base::MutexLock lock(stats_mu_);
       b.stats.delivered_volume += arrived;
     }
     for (const auto& [node, volume] : holdings) {
@@ -154,7 +165,7 @@ void ControllerRuntime::invalidate_flows(Backend& b, int slot, int link) {
     const double delivered =
         std::min(entry.request.size, a.rate * completed);
     if (delivered > 0.0) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      base::MutexLock lock(stats_mu_);
       b.stats.delivered_volume += delivered;
     }
     const double remaining = entry.request.size - delivered;
@@ -170,7 +181,7 @@ void ControllerRuntime::requeue_remainder(Backend& b,
                                           int node, double volume,
                                           int deadline_slot, int slot) {
   if (node == origin.destination) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    base::MutexLock lock(stats_mu_);
     b.stats.delivered_volume += volume;
     return;
   }
@@ -178,7 +189,7 @@ void ControllerRuntime::requeue_remainder(Backend& b,
   if (slack < 1) {
     // No slot left before the deadline: the file fails loudly, never
     // silently — the volume lands in the failure counters.
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    base::MutexLock lock(stats_mu_);
     ++b.stats.failed_files;
     b.stats.failed_volume += volume;
     return;
@@ -191,7 +202,7 @@ void ControllerRuntime::requeue_remainder(Backend& b,
   request.max_transfer_slots = slack;
   request.release_slot = slot;
   b.replan_batch.push_back(request);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  base::MutexLock lock(stats_mu_);
   ++b.stats.replans;
   b.stats.replanned_volume += volume;
 }
@@ -265,7 +276,7 @@ void ControllerRuntime::tick() {
 
   next_slot_ = slot + 1;
   ingress_.set_now(next_slot_);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  base::MutexLock lock(stats_mu_);
   ++slots_processed_;
   link_events_ += link_events;
   solver_stalls_ += solver_stalls;
@@ -380,16 +391,6 @@ void ControllerRuntime::solve_slot(int slot,
 
   pool_.run_all(std::move(tasks));
 
-  // Adds a solve to the combined histogram and, when at least one master
-  // LP actually ran, to the start-type split. Caller holds stats_mu_.
-  auto add_solve_latency = [this](const sim::ScheduleOutcome& o,
-                                  double seconds) {
-    solve_latency_.add(seconds);
-    if (o.warm_accepts + o.cold_starts == 0) return;  // no LP this solve
-    const bool warm = o.warm_accepts > 0 && o.cold_starts == 0;
-    (warm ? solve_latency_warm_ : solve_latency_cold_).add(seconds);
-  };
-
   // Did this outcome reach any rung below the full LP optimum?
   auto outcome_degraded = [](const sim::ScheduleOutcome& o) {
     return o.rung_truncated + o.rung_greedy > 0 || !o.deferred_ids.empty();
@@ -414,7 +415,7 @@ void ControllerRuntime::solve_slot(int slot,
           if (it != r.files.end()) b.flows[a.file_id] = {*it, a};
         }
       }
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      base::MutexLock lock(stats_mu_);
       add_solve_latency(r.outcome, r.seconds);
       const double cost_after = b.policy->cost_per_interval();
       if (w.degraded) {
@@ -454,6 +455,9 @@ void ControllerRuntime::solve_slot(int slot,
         record_outcome(b, slot, r.files, r.outcome);
         w.degraded = w.degraded || outcome_degraded(r.outcome);
         track_plans(b, slot, r.plans, r.files);
+        if (options_.audit.active()) {
+          audit_group_commit(b, slot, r.plans, r.files);
+        }
       } else {
         // Conflict: the groups' snapshot solves oversubscribed a link.
         // The writer re-solves this group exactly, against live state
@@ -464,14 +468,14 @@ void ControllerRuntime::solve_slot(int slot,
         record_outcome(b, slot, r.files, live);
         w.degraded = w.degraded || outcome_degraded(live);
         track_plans(b, slot, b.postcard->last_plans(), r.files);
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        base::MutexLock lock(stats_mu_);
         ++b.stats.conflict_resolves;
         add_solve_latency(live, live_seconds);
       }
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      base::MutexLock lock(stats_mu_);
       add_solve_latency(r.outcome, r.seconds);
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    base::MutexLock lock(stats_mu_);
     const double cost_after = b.policy->cost_per_interval();
     if (w.degraded) {
       ++b.stats.degraded_slots;
@@ -481,6 +485,59 @@ void ControllerRuntime::solve_slot(int slot,
     b.stats.charge_reduce_violations =
         b.policy->charge_state().recorder().reduce_violations();
   }
+}
+
+void ControllerRuntime::add_solve_latency(const sim::ScheduleOutcome& o,
+                                          double seconds) {
+  solve_latency_.add(seconds);
+  if (o.warm_accepts + o.cold_starts == 0) return;  // no LP this solve
+  const bool warm = o.warm_accepts > 0 && o.cold_starts == 0;
+  (warm ? solve_latency_warm_ : solve_latency_cold_).add(seconds);
+}
+
+void ControllerRuntime::audit_group_commit(
+    Backend& b, int slot, const std::vector<core::FilePlan>& plans,
+    const std::vector<net::FileRequest>& files) {
+  const auto t0 = std::chrono::steady_clock::now();
+  audit::AuditOptions opts;
+  opts.tolerance = options_.audit.tolerance;
+  opts.check_charge_consistency = options_.audit.check_charge_consistency;
+
+  std::vector<audit::PlannedFile> planned;
+  planned.reserve(plans.size());
+  for (const core::FilePlan& plan : plans) {
+    const auto it = std::find_if(files.begin(), files.end(),
+                                 [&](const net::FileRequest& f) {
+                                   return f.id == plan.file_id;
+                                 });
+    if (it == files.end()) continue;
+    planned.push_back({*it, &plan});
+  }
+  audit::AuditReport report = audit::audit_slot_plans(
+      slot, planned, b.postcard->topology(), b.postcard->charge_state(), opts);
+  report.merge(audit::audit_charge_state(b.postcard->charge_state(),
+                                         b.postcard->topology(), opts));
+  const double seconds = elapsed_seconds(t0);
+  {
+    base::MutexLock lock(stats_mu_);
+    ++b.stats.audit_checks;
+    b.stats.audit_violations += static_cast<long>(report.violations.size());
+    b.stats.audit_seconds += seconds;
+    for (const audit::Violation& v : report.violations) {
+      if (static_cast<int>(b.stats.audit_reports.size()) >=
+          options_.audit.max_reports) {
+        break;
+      }
+      b.stats.audit_reports.push_back(v.format());
+    }
+  }
+  if (report.ok()) return;
+  if (options_.audit.mode == sim::AuditControls::Mode::kFailFast) {
+    throw std::logic_error(b.stats.name + " writer commit at slot " +
+                           std::to_string(slot) + " " + report.summary());
+  }
+  std::fprintf(stderr, "[audit] %s writer commit at slot %d %s\n",
+               b.stats.name.c_str(), slot, report.summary().c_str());
 }
 
 void ControllerRuntime::record_outcome(
@@ -514,7 +571,7 @@ void ControllerRuntime::record_outcome(
     ++carried;
     carried_volume += f.size;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  base::MutexLock lock(stats_mu_);
   b.stats.lp_iterations += outcome.lp_iterations;
   b.stats.lp_solves += outcome.lp_solves;
   b.stats.warm_accepts += outcome.warm_accepts;
@@ -528,6 +585,16 @@ void ControllerRuntime::record_outcome(
   }
   b.stats.gave_up_files += outcome.gave_up_files;
   b.stats.gave_up_volume += outcome.gave_up_volume;
+  b.stats.audit_checks += outcome.audit_checks;
+  b.stats.audit_violations += outcome.audit_violations;
+  b.stats.audit_seconds += outcome.audit_seconds;
+  for (const std::string& line : outcome.audit_reports) {
+    if (static_cast<int>(b.stats.audit_reports.size()) >=
+        options_.audit.max_reports) {
+      break;
+    }
+    b.stats.audit_reports.push_back(line);
+  }
   b.stats.carryover_files += carried;
   b.stats.carryover_volume += carried_volume;
   b.stats.failed_files += carry_failed;
@@ -576,7 +643,7 @@ void ControllerRuntime::retire_completed(int before_slot) {
     Backend& b = *bp;
     for (auto it = b.plans.begin(); it != b.plans.end();) {
       if (it->second.last_transfer_slot < before_slot) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        base::MutexLock lock(stats_mu_);
         if (!is_synthetic(it->first)) ++b.stats.delivered_files;
         b.stats.delivered_volume += it->second.request.size;
         it = b.plans.erase(it);
@@ -587,7 +654,7 @@ void ControllerRuntime::retire_completed(int before_slot) {
     for (auto it = b.flows.begin(); it != b.flows.end();) {
       const flow::FlowAssignment& a = it->second.assignment;
       if (a.start_slot + a.duration <= before_slot) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        base::MutexLock lock(stats_mu_);
         if (!is_synthetic(it->first)) ++b.stats.delivered_files;
         b.stats.delivered_volume += it->second.request.size;
         it = b.flows.erase(it);
@@ -604,7 +671,7 @@ void ControllerRuntime::flush_in_flight() {
   // fail loudly rather than vanish from the accounting identity.
   for (auto& bp : backends_) {
     if (bp->carry_batch.empty()) continue;
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    base::MutexLock lock(stats_mu_);
     for (const net::FileRequest& f : bp->carry_batch) {
       ++bp->stats.failed_files;
       bp->stats.failed_volume += f.size;
@@ -634,7 +701,7 @@ RuntimeStats ControllerRuntime::stats() const {
   s.admitted = ingress_.admitted();
   s.ingress_rejected = ingress_.rejected();
   s.ingress_rejected_volume = ingress_.rejected_volume();
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  base::MutexLock lock(stats_mu_);
   s.slots_processed = slots_processed_;
   s.link_events = link_events_;
   s.solver_stalls = solver_stalls_;

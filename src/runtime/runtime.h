@@ -38,10 +38,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "core/postcard.h"
 #include "flow/baseline.h"
 #include "net/topology.h"
@@ -77,6 +78,12 @@ struct RuntimeOptions {
   /// task rather than their sum.
   long slot_pivot_budget = 0;
   double slot_deadline_seconds = 0.0;
+  /// Plan auditor (src/audit), armed on every backend at registration and
+  /// run by the single writer after each split-batch group commit. Fail-fast
+  /// by default: an operational engine must never run on an invalid plan,
+  /// and the audit's cost is a few percent of a slot solve. Set
+  /// audit.mode = kOff to benchmark the bare solver.
+  sim::AuditControls audit{sim::AuditControls::Mode::kFailFast};
 };
 
 class ControllerRuntime {
@@ -128,7 +135,7 @@ class ControllerRuntime {
   /// Processes the next slot: pushes its SlotTick, drains every due event
   /// in (slot, phase, seq) order, solves the accumulated batch on the
   /// worker pool and commits the plans under the single writer.
-  void tick();
+  void tick() EXCLUDES(stats_mu_);
 
   /// Ticks slots [current, num_slots) and then flushes the in-flight
   /// ledger into the delivery stats.
@@ -145,7 +152,7 @@ class ControllerRuntime {
 
   // --- Observation ------------------------------------------------------
 
-  RuntimeStats stats() const;
+  RuntimeStats stats() const EXCLUDES(stats_mu_);
   int num_backends() const { return static_cast<int>(backends_.size()); }
   const sim::SchedulingPolicy& policy(int backend) const {
     return *backends_[static_cast<std::size_t>(backend)]->policy;
@@ -188,16 +195,27 @@ class ControllerRuntime {
 
   void apply_capacity(int link, double capacity);
   void on_link_down(int slot, int link);
-  void invalidate_plans(Backend& b, int slot, int link);
-  void invalidate_flows(Backend& b, int slot, int link);
+  void invalidate_plans(Backend& b, int slot, int link) EXCLUDES(stats_mu_);
+  void invalidate_flows(Backend& b, int slot, int link) EXCLUDES(stats_mu_);
   /// Queues `volume` stranded at `node` for replanning, or records the
   /// failure when the deadline has no slack left.
   void requeue_remainder(Backend& b, const net::FileRequest& origin, int node,
-                         double volume, int deadline_slot, int slot);
-  void solve_slot(int slot, const std::vector<net::FileRequest>& arrivals);
+                         double volume, int deadline_slot, int slot)
+      EXCLUDES(stats_mu_);
+  void solve_slot(int slot, const std::vector<net::FileRequest>& arrivals)
+      EXCLUDES(stats_mu_);
   void record_outcome(Backend& b, int slot,
                       const std::vector<net::FileRequest>& batch,
-                      const sim::ScheduleOutcome& outcome);
+                      const sim::ScheduleOutcome& outcome) EXCLUDES(stats_mu_);
+  /// Writer-side audit of a split-batch group's plans against the LIVE
+  /// charge state, after commit_plans. Group clones self-audit against
+  /// their snapshot; only this pass sees the combined commitments of all
+  /// groups, so only it can catch cross-group oversubscription the
+  /// conflict check missed. Counters land in `b.stats.audit_*`.
+  void audit_group_commit(Backend& b, int slot,
+                          const std::vector<core::FilePlan>& plans,
+                          const std::vector<net::FileRequest>& files)
+      EXCLUDES(stats_mu_);
   void track_plans(Backend& b, int slot,
                    const std::vector<core::FilePlan>& plans,
                    const std::vector<net::FileRequest>& batch);
@@ -217,15 +235,25 @@ class ControllerRuntime {
   int next_slot_ = 0;
   int next_synthetic_id_ = kSyntheticIdBase;
 
-  mutable std::mutex stats_mu_;  // guards the merged snapshot fields below
-  int slots_processed_ = 0;
-  long link_events_ = 0;
-  long solver_stalls_ = 0;
-  long solver_faults_ = 0;
-  LatencyHistogram slot_latency_;
-  LatencyHistogram solve_latency_;
-  LatencyHistogram solve_latency_warm_;  // solves whose first master was warm
-  LatencyHistogram solve_latency_cold_;
+  /// Adds a solve to the combined latency histogram and, when at least one
+  /// master LP actually ran, to the warm/cold start-type split.
+  void add_solve_latency(const sim::ScheduleOutcome& outcome, double seconds)
+      REQUIRES(stats_mu_);
+
+  // Also guards every Backend::stats: the driver merges under the lock,
+  // stats() copies under it. (Per-backend annotation is out of clang's
+  // reach — the Backends live behind unique_ptrs — so that half of the
+  // contract is enforced by TSAN instead.)
+  mutable base::Mutex stats_mu_;
+  int slots_processed_ GUARDED_BY(stats_mu_) = 0;
+  long link_events_ GUARDED_BY(stats_mu_) = 0;
+  long solver_stalls_ GUARDED_BY(stats_mu_) = 0;
+  long solver_faults_ GUARDED_BY(stats_mu_) = 0;
+  LatencyHistogram slot_latency_ GUARDED_BY(stats_mu_);
+  // Solve-latency split: solves whose first master was warm vs. cold.
+  LatencyHistogram solve_latency_ GUARDED_BY(stats_mu_);
+  LatencyHistogram solve_latency_warm_ GUARDED_BY(stats_mu_);
+  LatencyHistogram solve_latency_cold_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace postcard::runtime

@@ -87,6 +87,18 @@ struct BackendStats {
   // Greedy chunk-budget exhaustion (max_chunks_per_file ran out).
   long gave_up_files = 0;
   double gave_up_volume = 0.0;
+  // ---- Plan audits (src/audit; armed via RuntimeOptions::audit). Whether
+  // the backend accepted the audit controls at registration, how many
+  // commits were re-verified (policy-side self-audits plus the writer's
+  // post-commit audits in split-batch mode), violations found, wall time
+  // spent auditing, and the first violation reports (capped by
+  // AuditControls::max_reports). In kFailFast mode violations throw before
+  // reaching these counters, so a completed run shows zero.
+  bool audit_armed = false;
+  long audit_checks = 0;
+  long audit_violations = 0;
+  double audit_seconds = 0.0;
+  std::vector<std::string> audit_reports;
   std::vector<double> cost_series;  // cost per interval after each slot
 };
 

@@ -12,7 +12,7 @@ WorkerPool::WorkerPool(int num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,7 +27,7 @@ std::future<void> WorkerPool::submit(std::function<void()> task) {
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     queue_.push(std::move(packaged));
   }
   cv_.notify_one();
@@ -45,7 +45,7 @@ void WorkerPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<std::mutex> lock(mu_.native());
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());

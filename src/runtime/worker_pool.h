@@ -11,10 +11,12 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace postcard::runtime {
 
@@ -30,7 +32,7 @@ class WorkerPool {
 
   /// Schedules `task`; the future resolves when it has run (exceptions
   /// propagate through the future).
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Runs every task and blocks until all have finished. Inline pools
   /// execute them sequentially in index order.
@@ -39,12 +41,15 @@ class WorkerPool {
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
  private:
-  void worker_loop();
+  /// Opted out of the capability analysis: the condition-variable wait
+  /// needs the raw std::mutex (Mutex::native()), whose lock/unlock clang
+  /// cannot follow. TSAN covers this loop at runtime.
+  void worker_loop() NO_THREAD_SAFETY_ANALYSIS;
 
-  std::mutex mu_;
+  base::Mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::packaged_task<void()>> queue_;
-  bool stop_ = false;
+  std::queue<std::packaged_task<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

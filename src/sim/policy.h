@@ -51,6 +51,15 @@ struct ScheduleOutcome {
   // max_chunks_per_file ran out, not because the network was full.
   long gave_up_files = 0;
   double gave_up_volume = 0.0;
+
+  // ---- Plan-audit accounting (src/audit; active only under AuditControls).
+  // Commits audited this schedule() call, violations found, wall time spent
+  // auditing, and one structured line per violation (capped by the policy
+  // so a pathological slot cannot balloon the outcome).
+  long audit_checks = 0;
+  long audit_violations = 0;
+  double audit_seconds = 0.0;
+  std::vector<std::string> audit_reports;
 };
 
 /// Per-slot solve budget and ladder controls, pushed by the runtime's
@@ -68,6 +77,26 @@ struct SolveControls {
   bool active() const {
     return max_pivots >= 0 || deadline_seconds >= 0.0 || disable_rungs > 0;
   }
+};
+
+/// Plan-audit knob (src/audit): after every commit the policy re-verifies
+/// the paper invariants (6)-(10) on what it actually committed, plus the
+/// charge state's treap-vs-oracle consistency. kLog records violations in
+/// the ScheduleOutcome (and on stderr) and keeps going; kFailFast throws
+/// std::logic_error with the audit summary — no invalid plan survives a
+/// slot. The runtime arms fail-fast by default; the offline controllers
+/// default to kOff so the figure benches measure the solver, not the audit.
+struct AuditControls {
+  enum class Mode { kOff = 0, kLog, kFailFast };
+  Mode mode = Mode::kOff;
+  /// Base tolerance for LP-produced volumes (see audit::AuditOptions).
+  double tolerance = 1e-4;
+  /// Include the O(L * T log T) treap-vs-oracle charge sweep each audit.
+  bool check_charge_consistency = true;
+  /// Keep at most this many structured violation lines per outcome.
+  int max_reports = 32;
+
+  bool active() const { return mode != Mode::kOff; }
 };
 
 class SchedulingPolicy {
@@ -99,6 +128,14 @@ class SchedulingPolicy {
   /// has no budget support — the runtime then records the watchdog as
   /// unarmed for this backend instead of assuming protection.
   virtual bool set_solve_controls(const SolveControls& /*controls*/) {
+    return false;
+  }
+
+  /// Arms the plan auditor applied after every subsequent commit (sticky
+  /// until replaced; a default-constructed AuditControls disarms it).
+  /// Returns false when the policy has no audit support — the runtime then
+  /// records the backend as unaudited instead of assuming coverage.
+  virtual bool set_audit_controls(const AuditControls& /*controls*/) {
     return false;
   }
 
