@@ -21,6 +21,7 @@
 // Build & run:  cmake --build build && ./build/bench/bench_audit
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "core/postcard.h"
 #include "flow/baseline.h"
 #include "runtime/runtime.h"
@@ -76,6 +77,11 @@ void AuditedReplay(benchmark::State& state) {
       (audit_checks > 0 && mean_solve_s > 0)
           ? 100.0 * (audit_seconds / audit_checks) / mean_solve_s
           : 0.0;
+  if (audited) {
+    record_json_metric("audit_ms", 1e3 * audit_seconds);
+    record_json_metric("audit_share_pct", state.counters["audit_share_pct"]);
+    record_json_metric("audit_violations", audit_violations);
+  }
 }
 
 void AuditedOfflineSlot(benchmark::State& state) {
@@ -105,6 +111,9 @@ void AuditedOfflineSlot(benchmark::State& state) {
   state.counters["audit_checks"] = audit_checks;
   state.counters["audit_us_per_slot"] =
       audit_checks > 0 ? 1e6 * audit_seconds / audit_checks : 0.0;
+  record_json_metric(
+      flow_backend ? "flow_audit_us_per_slot" : "postcard_audit_us_per_slot",
+      static_cast<double>(state.counters["audit_us_per_slot"]));
 }
 
 BENCHMARK(AuditedReplay)->Arg(0)->Arg(1)->ArgName("audit")->UseRealTime();
@@ -113,4 +122,4 @@ BENCHMARK(AuditedOfflineSlot)->Arg(0)->Arg(1)->ArgName("backend");
 }  // namespace
 }  // namespace postcard::bench
 
-BENCHMARK_MAIN();
+POSTCARD_BENCHMARK_MAIN_WITH_JSON("audit");

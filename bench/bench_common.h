@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/postcard.h"
 #include "flow/baseline.h"
 #include "sim/metrics.h"
@@ -112,12 +113,20 @@ inline FigureSeries run_figure_series(Policy which, double capacity,
   return series;
 }
 
-/// Publishes a series on a benchmark state as counters.
-inline void report_series(::benchmark::State& state, const FigureSeries& s) {
+/// Publishes a series on a benchmark state as counters. When `json_key` is
+/// non-empty the headline numbers also land in the BENCH_<name>.json
+/// registry (a no-op unless the binary's main writes it — see
+/// bench_json.h).
+inline void report_series(::benchmark::State& state, const FigureSeries& s,
+                          const std::string& json_key = "") {
   state.counters["cost_mean"] = s.cost.mean;
   state.counters["cost_ci95"] = s.cost.ci95_halfwidth;
   state.counters["rejected_share"] = s.rejected_share.mean;
   state.counters["runs"] = s.cost.n;
+  if (!json_key.empty()) {
+    record_json_metric(json_key + "_cost_mean", s.cost.mean);
+    record_json_metric(json_key + "_rejected_share", s.rejected_share.mean);
+  }
 }
 
 /// Registers the Postcard and flow-based series of one figure, plus (when
@@ -131,7 +140,8 @@ inline void report_series(::benchmark::State& state, const FigureSeries& s) {
           postcard::bench::Policy::kPostcard, capacity, max_deadline,          \
           small_max);                                                          \
     }                                                                          \
-    postcard::bench::report_series(state, series);                             \
+    postcard::bench::report_series(state, series,                              \
+                                   #fig "_Postcard_SmallFiles");               \
   }                                                                            \
   BENCHMARK(BM_##fig##_Postcard_SmallFiles)                                    \
       ->Unit(benchmark::kSecond)                                               \
@@ -143,7 +153,8 @@ inline void report_series(::benchmark::State& state, const FigureSeries& s) {
           postcard::bench::Policy::kFlowBased, capacity, max_deadline,         \
           small_max);                                                          \
     }                                                                          \
-    postcard::bench::report_series(state, series);                             \
+    postcard::bench::report_series(state, series,                              \
+                                   #fig "_FlowBased_SmallFiles");              \
   }                                                                            \
   BENCHMARK(BM_##fig##_FlowBased_SmallFiles)                                   \
       ->Unit(benchmark::kSecond)                                               \
@@ -157,7 +168,7 @@ inline void report_series(::benchmark::State& state, const FigureSeries& s) {
       series = postcard::bench::run_figure_series(                             \
           postcard::bench::Policy::kPostcard, capacity, max_deadline);         \
     }                                                                          \
-    postcard::bench::report_series(state, series);                             \
+    postcard::bench::report_series(state, series, #fig "_Postcard");           \
   }                                                                            \
   BENCHMARK(BM_##fig##_Postcard)->Unit(benchmark::kSecond)->Iterations(1);     \
   static void BM_##fig##_FlowBased(::benchmark::State& state) {                \
@@ -166,7 +177,7 @@ inline void report_series(::benchmark::State& state, const FigureSeries& s) {
       series = postcard::bench::run_figure_series(                             \
           postcard::bench::Policy::kFlowBased, capacity, max_deadline);        \
     }                                                                          \
-    postcard::bench::report_series(state, series);                             \
+    postcard::bench::report_series(state, series, #fig "_FlowBased");          \
   }                                                                            \
   BENCHMARK(BM_##fig##_FlowBased)->Unit(benchmark::kSecond)->Iterations(1)
 

@@ -18,6 +18,9 @@
 // Build & run:  cmake --build build && ./build/bench/bench_degradation
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_json.h"
 #include "runtime/runtime.h"
 #include "sim/workload.h"
 
@@ -68,6 +71,10 @@ void BM_DegradationCost(benchmark::State& state) {
   state.counters["rung_greedy"] = static_cast<double>(b.rung_greedy);
   state.counters["carryover"] = static_cast<double>(b.carryover_files);
   state.counters["failed"] = static_cast<double>(b.failed_files);
+  const std::string key = "budget" + std::to_string(budget);
+  record_json_metric(key + "_degraded_slots",
+                     static_cast<double>(b.degraded_slots));
+  record_json_metric(key + "_cost_delta", b.degraded_cost_delta);
 }
 
 void BM_DegradationChaos(benchmark::State& state) {
@@ -102,6 +109,8 @@ void BM_DegradationChaos(benchmark::State& state) {
   state.counters["rung_greedy"] = static_cast<double>(b.rung_greedy);
   state.counters["carryover"] = static_cast<double>(b.carryover_files);
   state.counters["failed"] = static_cast<double>(b.failed_files);
+  record_json_metric("chaos" + std::to_string(stalls) + "_cost_vs_clean",
+                     b.cost_series.back() - clean_cost);
 }
 
 BENCHMARK(BM_DegradationCost)
@@ -112,4 +121,4 @@ BENCHMARK(BM_DegradationChaos)->Arg(1)->Arg(3)->Arg(6)->ArgName("slots");
 }  // namespace
 }  // namespace postcard::bench
 
-BENCHMARK_MAIN();
+POSTCARD_BENCHMARK_MAIN_WITH_JSON("degradation");

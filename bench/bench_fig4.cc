@@ -6,4 +6,4 @@
 
 POSTCARD_FIGURE_BENCH(Fig4_c100_T3, 100.0, 3);
 
-BENCHMARK_MAIN();
+POSTCARD_BENCHMARK_MAIN_WITH_JSON("fig4");

@@ -1,0 +1,76 @@
+// Structured benchmark output: BENCH_<name>.json at the repo root.
+//
+// Google-benchmark counters are great on a terminal but awkward to diff
+// between runs; the regression gate (scripts/summarize_benches.py
+// --check-trajectory, invoked by scripts/run_all.sh) wants a flat
+// {metric: number} map per bench binary. Benches call
+// record_json_metric() next to their state.counters[...] lines and end
+// with POSTCARD_BENCHMARK_MAIN_WITH_JSON("name") instead of
+// BENCHMARK_MAIN(); the macro runs the benchmarks and then writes
+// BENCH_<name>.json into POSTCARD_BENCH_JSON_DIR (default: the current
+// working directory — run_all.sh runs benches from the repo root, so the
+// files land there and are committed as the trajectory baseline).
+//
+// The registry is process-global and last-write-wins per key, so a bench
+// family that runs several times (google-benchmark's estimation passes)
+// publishes its final reading.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+namespace postcard::bench {
+
+inline std::map<std::string, double>& bench_json_metrics() {
+  static std::map<std::string, double> metrics;
+  return metrics;
+}
+
+inline void record_json_metric(const std::string& key, double value) {
+  bench_json_metrics()[key] = value;
+}
+
+/// Writes BENCH_<bench_name>.json; returns false (after a loud stderr
+/// line) on I/O failure so the bench binary exits nonzero.
+inline bool write_bench_json(const std::string& bench_name) {
+  const char* dir = std::getenv("POSTCARD_BENCH_JSON_DIR");
+  const std::string path = (dir != nullptr && dir[0] != '\0')
+                               ? std::string(dir) + "/BENCH_" + bench_name + ".json"
+                               : "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_JSON_WRITE_FAILED %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", bench_name.c_str());
+  bool first = true;
+  for (const auto& [key, value] : bench_json_metrics()) {
+    if (!std::isfinite(value)) continue;  // inf/nan are not JSON numbers
+    std::fprintf(f, "%s\n    \"%s\": %.17g", first ? "" : ",", key.c_str(),
+                 value);
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "BENCH_JSON_WRITE_FAILED %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace postcard::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes
+/// BENCH_<name>.json from whatever the benches record_json_metric()'d.
+#define POSTCARD_BENCHMARK_MAIN_WITH_JSON(bench_name)                    \
+  int main(int argc, char** argv) {                                      \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    return ::postcard::bench::write_bench_json(bench_name) ? 0 : 1;      \
+  }                                                                      \
+  static_assert(true, "require a trailing semicolon")

@@ -26,9 +26,11 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "runtime/runtime.h"
 #include "sim/workload.h"
 
@@ -101,6 +103,7 @@ void RuntimeReplay(benchmark::State& state) {
   const sim::UniformWorkload workload(runtime_params(17));
   long requests = 0;
   double p99_slot = 0.0;
+  double mean_slot = 0.0;
   double conflicts = 0.0;
 
   for (auto _ : state) {
@@ -113,11 +116,15 @@ void RuntimeReplay(benchmark::State& state) {
     const runtime::RuntimeStats stats = engine.replay(workload);
     requests += stats.submitted;
     p99_slot = stats.slot_latency.quantile(0.99);
+    mean_slot = stats.slot_latency.mean_seconds();
     conflicts = static_cast<double>(stats.backends[0].conflict_resolves);
   }
   state.SetItemsProcessed(requests);
   state.counters["p99_slot_ms"] = 1e3 * p99_slot;
   state.counters["conflicts"] = conflicts;
+  const std::string key = "replay_w" + std::to_string(workers);
+  record_json_metric(key + "_p99_slot_ms", 1e3 * p99_slot);
+  record_json_metric(key + "_mean_slot_ms", 1e3 * mean_slot);
 }
 
 /// RuntimeWarmStart/warm:{0,1} — the same deterministic replay with the
@@ -149,6 +156,13 @@ void RuntimeWarmStart(benchmark::State& state) {
   state.counters["mean_solve_ms"] = mean_solve_ms;
   state.counters["warm_accepts"] = accepts;
   state.counters["cold_starts"] = colds;
+  const std::string key = warm ? "warm" : "cold";
+  record_json_metric(key + std::string("_mean_solve_ms"), mean_solve_ms);
+  if (warm) {
+    record_json_metric("warm_accept_rate",
+                       (accepts + colds) > 0 ? accepts / (accepts + colds)
+                                             : 0.0);
+  }
 }
 
 /// Per-policy dispatch: Postcard and the flow baseline ride the same slot
@@ -190,4 +204,4 @@ BENCHMARK(RuntimeMultiPolicy)->Arg(0)->Arg(2)->Arg(4)->UseRealTime();
 }  // namespace
 }  // namespace postcard::bench
 
-BENCHMARK_MAIN();
+POSTCARD_BENCHMARK_MAIN_WITH_JSON("runtime_throughput");

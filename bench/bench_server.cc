@@ -1,0 +1,162 @@
+// Latency of the socket front end (src/server) — what a protocol client
+// actually observes, loopback TCP included.
+//
+// Three families, each a fresh server + blocking client per run:
+//
+//   * ServerSubmitRoundTrip — one SubmitFile frame per iteration; the
+//     counters (and BENCH_server.json) report the mean and p99 round-trip
+//     through framing, decode, admission control and the reply path. The
+//     slot clock advances every 64 submits so the ingress window never
+//     saturates and every iteration measures the same admitted path.
+//   * ServerAdvanceSlot — one AdvanceSlot(1) per iteration with a small
+//     batch submitted first: the wire-level view of a slot solve, i.e.
+//     command handoff to the driver thread + the LP + the reply.
+//   * ServerSnapshotWrite — one Snapshot command per iteration against a
+//     warmed-up runtime: capture under the ledger lock, encode, tmp +
+//     fsync + rename.
+//
+// Build & run:  cmake --build build && ./build/bench/bench_server
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_json.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace postcard::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+net::Topology bench_topology() {
+  // 4-DC full mesh with ample capacity: solves stay cheap, so the framing
+  // and thread-handoff costs are visible instead of drowned by the LP.
+  net::Topology t(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) t.set_link(a, b, 200.0, 1.0 + a + b);
+    }
+  }
+  return t;
+}
+
+net::FileRequest bench_file(long id) {
+  net::FileRequest f;
+  f.id = id;
+  f.source = static_cast<int>(id % 4);
+  f.destination = static_cast<int>((id + 1) % 4);
+  f.size = 1.0 + static_cast<double>(id % 5);
+  f.max_transfer_slots = 2;
+  return f;
+}
+
+double quantile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+void ServerSubmitRoundTrip(benchmark::State& state) {
+  server::PostcardServer server{bench_topology(), server::ServerOptions{}};
+  server.add_postcard_backend();
+  server.start();
+  server::PostcardClient client("127.0.0.1", server.port());
+
+  std::vector<double> rtt_ms;
+  long id = 1;
+  for (auto _ : state) {
+    const Clock::time_point t0 = Clock::now();
+    benchmark::DoNotOptimize(client.submit_file(bench_file(id)));
+    rtt_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    if (++id % 64 == 0) client.advance(1);
+  }
+  client.advance(4);
+  server.request_shutdown();
+  server.wait();
+
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rtt_mean_ms"] = mean(rtt_ms);
+  state.counters["rtt_p99_ms"] = quantile(rtt_ms, 0.99);
+  record_json_metric("submit_rtt_mean_ms", mean(rtt_ms));
+  record_json_metric("submit_rtt_p99_ms", quantile(rtt_ms, 0.99));
+}
+
+void ServerAdvanceSlot(benchmark::State& state) {
+  server::PostcardServer server{bench_topology(), server::ServerOptions{}};
+  server.add_postcard_backend();
+  server.start();
+  server::PostcardClient client("127.0.0.1", server.port());
+
+  std::vector<double> slot_ms;
+  long id = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 4; ++i) client.submit_file(bench_file(id++));
+    const Clock::time_point t0 = Clock::now();
+    benchmark::DoNotOptimize(client.advance(1));
+    slot_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  client.advance(4);
+  server.request_shutdown();
+  server.wait();
+
+  state.counters["slot_mean_ms"] = mean(slot_ms);
+  state.counters["slot_p99_ms"] = quantile(slot_ms, 0.99);
+  record_json_metric("slot_solve_mean_ms", mean(slot_ms));
+  record_json_metric("slot_solve_p99_ms", quantile(slot_ms, 0.99));
+}
+
+void ServerSnapshotWrite(benchmark::State& state) {
+  server::PostcardServer server{bench_topology(), server::ServerOptions{}};
+  server.add_postcard_backend();
+  server.start();
+  server::PostcardClient client("127.0.0.1", server.port());
+  const std::string path = "/tmp/postcard_bench_snapshot_" +
+                           std::to_string(::getpid()) + ".psnp";
+
+  // Warm the runtime so the snapshot has real ledgers and plans in it.
+  long id = 1;
+  for (int slot = 0; slot < 8; ++slot) {
+    for (int i = 0; i < 4; ++i) client.submit_file(bench_file(id++));
+    client.advance(1);
+  }
+
+  std::vector<double> write_ms;
+  for (auto _ : state) {
+    const Clock::time_point t0 = Clock::now();
+    client.snapshot(path);
+    write_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  server.request_shutdown();
+  server.wait();
+  std::remove(path.c_str());
+
+  state.counters["snapshot_mean_ms"] = mean(write_ms);
+  record_json_metric("snapshot_write_mean_ms", mean(write_ms));
+}
+
+BENCHMARK(ServerSubmitRoundTrip)->UseRealTime();
+BENCHMARK(ServerAdvanceSlot)->UseRealTime();
+BENCHMARK(ServerSnapshotWrite)->UseRealTime();
+
+}  // namespace
+}  // namespace postcard::bench
+
+POSTCARD_BENCHMARK_MAIN_WITH_JSON("server");

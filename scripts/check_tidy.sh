@@ -4,7 +4,7 @@
 # 1. Configures and builds the `tidy` preset (clang++ with
 #    -Wthread-safety -Werror=thread-safety), so any lock-discipline
 #    regression against the GUARDED_BY/REQUIRES/EXCLUDES annotations in
-#    src/base, src/runtime fails the build.
+#    src/base, src/runtime and src/server fails the build.
 # 2. Runs clang-tidy (checks in .clang-tidy, warnings-as-errors) over every
 #    first-party translation unit using the preset's compile database.
 #

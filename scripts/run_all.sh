@@ -20,7 +20,7 @@ ctest --test-dir build --output-on-failure -j "${JOBS}" 2>&1 | tee test_output.t
 # degradation ladder).
 cmake --preset tsan
 cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan -L "runtime|chaos" --output-on-failure \
+ctest --test-dir build-tsan -L "runtime|chaos|server" --output-on-failure \
   -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 # Memory-safety pass: ASan + UBSan (fail-fast on UB) over the charging
@@ -28,7 +28,7 @@ ctest --test-dir build-tsan -L "runtime|chaos" --output-on-failure \
 # pointer structures (the order-statistic treap) and cross-thread handoff.
 cmake --preset asan
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan -L "charging|runtime|chaos|audit" \
+ctest --test-dir build-asan -L "charging|runtime|chaos|audit|server" \
   --output-on-failure -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 # Standalone UBSan pass (works under GCC; +float-divide-by-zero, which the
@@ -36,15 +36,27 @@ ctest --test-dir build-asan -L "charging|runtime|chaos|audit" \
 # kernels, and the plan-audit suites.
 cmake --preset ubsan
 cmake --build build-ubsan -j "${JOBS}"
-ctest --test-dir build-ubsan -L "charging|runtime|chaos|lp|audit" \
+ctest --test-dir build-ubsan -L "charging|runtime|chaos|lp|audit|server" \
   --output-on-failure -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 # Static-analysis gate: clang thread-safety analysis + clang-tidy. Skips
 # loudly (exit 0) when clang is not installed — see the script header.
 scripts/check_tidy.sh 2>&1 | tee -a test_output.txt
 
+# Stash the committed BENCH_*.json baseline before the benches overwrite
+# it: the trajectory gate below diffs new-vs-previous metric by metric.
+mkdir -p build/bench_prev
+rm -f build/bench_prev/BENCH_*.json
+cp BENCH_*.json build/bench_prev/ 2>/dev/null || true
+
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   "$b"
 done 2>&1 | tee bench_output.txt
+
+# Loud regression gate over the structured bench output: latency > 1.5x,
+# cost > 1.10x, warm-accept rate dropping > 0.15 etc. fail the run (see
+# scripts/summarize_benches.py --check-trajectory).
+python3 scripts/summarize_benches.py --check-trajectory build/bench_prev . \
+  2>&1 | tee -a bench_output.txt
 echo "ALL_RUNS_COMPLETE"

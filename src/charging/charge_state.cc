@@ -25,6 +25,17 @@ void ChargeState::uncommit(int link, int slot, double volume) {
   charged_[link] = recorder_.max_volume(link);
 }
 
+ChargeState ChargeState::restore(PercentileRecorder recorder,
+                                 std::vector<double> charged) {
+  if (recorder.num_links() != static_cast<int>(charged.size())) {
+    throw std::invalid_argument("charged vector / recorder link mismatch");
+  }
+  ChargeState state(recorder.num_links());
+  state.recorder_ = std::move(recorder);
+  state.charged_ = std::move(charged);
+  return state;
+}
+
 double ChargeState::cost_per_interval(const net::Topology& topology) const {
   if (topology.num_links() != num_links()) {
     throw std::invalid_argument("topology link count mismatch");

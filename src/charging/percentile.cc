@@ -109,6 +109,30 @@ double PercentileRecorder::charged_volume_sorted(int link, double q,
   return sorted[static_cast<std::size_t>(k) - 1];
 }
 
+PercentileRecorder PercentileRecorder::from_series(
+    std::vector<std::vector<double>> series, int num_slots,
+    long reduce_violations) {
+  if (num_slots < 0) throw std::invalid_argument("negative slot count");
+  if (reduce_violations < 0) {
+    throw std::invalid_argument("negative violation count");
+  }
+  PercentileRecorder r(static_cast<int>(series.size()));
+  r.series_ = std::move(series);
+  for (std::size_t l = 0; l < r.series_.size(); ++l) {
+    const auto& s = r.series_[l];
+    if (static_cast<int>(s.size()) > num_slots) {
+      throw std::invalid_argument("series longer than the restored slot count");
+    }
+    for (std::size_t t = 0; t < s.size(); ++t) {
+      if (s[t] < 0.0) throw std::invalid_argument("negative series volume");
+      r.order_[l].insert(s[t], static_cast<int>(t));
+    }
+  }
+  r.num_slots_ = num_slots;
+  r.reduce_violations_ = reduce_violations;
+  return r;
+}
+
 void PercentileRecorder::corrupt_series_for_test(int link, int slot,
                                                  double value) {
   if (link < 0 || link >= num_links()) throw std::out_of_range("bad link");

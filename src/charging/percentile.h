@@ -87,6 +87,24 @@ class PercentileRecorder {
   double total_cost(const std::vector<CostFunction>& link_costs, double q,
                     int period_slots) const;
 
+  /// Raw per-slot series of `link` (may be shorter than num_slots() when
+  /// the trailing slots never saw traffic). Snapshot capture reads this;
+  /// the values are the exact doubles record()/reduce() left behind, so a
+  /// restore via from_series() reproduces every future query bit for bit.
+  const std::vector<double>& slot_series(int link) const {
+    return series_[link];
+  }
+
+  /// Snapshot restore: rebuilds a recorder (series + order-statistic
+  /// trees) from raw per-link series. `num_slots` restores the observed
+  /// slot count (it may exceed the longest series when reduce() zeroed a
+  /// trailing slot) and `reduce_violations` the accounting-mismatch
+  /// counter, so a restored recorder is indistinguishable from the one
+  /// captured. Throws std::invalid_argument on negative volumes or a
+  /// series longer than `num_slots`.
+  static PercentileRecorder from_series(std::vector<std::vector<double>> series,
+                                        int num_slots, long reduce_violations);
+
   /// TEST ONLY: writes `value` into the raw series WITHOUT updating the
   /// order-statistic tree, desynchronizing the incremental path from the
   /// copy+sort oracle. Exists so the audit mutation tests can prove the

@@ -14,6 +14,8 @@
 // required rate and retries, reporting the rejected volume.
 #pragma once
 
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "charging/charge_state.h"
@@ -113,6 +115,18 @@ class PostcardController : public sim::SchedulingPolicy {
   /// back out of the charge state — a link failure invalidated the plan
   /// before that traffic flowed.
   void uncommit_future(const FilePlan& plan, int from_slot);
+
+  /// Snapshot restore (src/runtime capture/restore): replaces the charge
+  /// ledger wholesale so a restarted controller prices future batches
+  /// against exactly the committed volumes the captured one saw. Throws
+  /// std::invalid_argument when the state's link count does not match the
+  /// topology.
+  void restore_charge_state(charging::ChargeState state) {
+    if (state.num_links() != topology_.num_links()) {
+      throw std::invalid_argument("charge state / topology link mismatch");
+    }
+    charge_ = std::move(state);
+  }
 
   /// Cross-slot warm-start cache (diagnostics, and the runtime's per-group
   /// cache hand-off: snapshot clones are transient, so the runtime moves

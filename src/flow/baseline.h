@@ -21,6 +21,8 @@
 // dropped volume is reported in the ScheduleOutcome.
 #pragma once
 
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "charging/charge_state.h"
@@ -89,6 +91,15 @@ class FlowBaseline : public sim::SchedulingPolicy {
   bool set_audit_controls(const sim::AuditControls& controls) override {
     audit_controls_ = controls;
     return true;
+  }
+
+  /// Snapshot restore (src/runtime capture/restore): replaces the charge
+  /// ledger wholesale; see PostcardController::restore_charge_state.
+  void restore_charge_state(charging::ChargeState state) {
+    if (state.num_links() != topology_.num_links()) {
+      throw std::invalid_argument("charge state / topology link mismatch");
+    }
+    charge_ = std::move(state);
   }
 
   /// Rolls the committed tail of `assignment` (slots >= from_slot) back

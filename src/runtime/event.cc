@@ -41,4 +41,18 @@ std::uint64_t EventQueue::pushed_total() const {
   return next_seq_;
 }
 
+std::vector<Event> EventQueue::pending() const {
+  base::MutexLock lock(mu_);
+  std::vector<Event> events;
+  events.reserve(heap_.size());
+  // priority_queue hides its container; drain a copy to read it in order.
+  auto copy = heap_;
+  while (!copy.empty()) {
+    const Entry& top = copy.top();
+    events.push_back(Event{top.slot, top.seq, top.payload});
+    copy.pop();
+  }
+  return events;
+}
+
 }  // namespace postcard::runtime

@@ -106,6 +106,12 @@ class EventQueue {
   std::size_t depth() const EXCLUDES(mu_);
   std::uint64_t pushed_total() const EXCLUDES(mu_);
 
+  /// Every event still queued, in (slot, phase, seq) drain order — the
+  /// snapshot path serializes these so a restored runtime replays future
+  /// arrivals and scheduled failures identically. O(n log n) copy; callers
+  /// are quiescent (the driver between ticks), not the hot path.
+  std::vector<Event> pending() const EXCLUDES(mu_);
+
  private:
   struct Entry {
     int slot;

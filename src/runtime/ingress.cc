@@ -72,6 +72,15 @@ void RequestIngress::set_link_capacity(int link, double capacity) {
   topology_.set_capacity(link, capacity);
 }
 
+void RequestIngress::restore_counters(long submitted, long admitted,
+                                      long rejected, double rejected_volume) {
+  submitted_.store(submitted, std::memory_order_relaxed);
+  admitted_.store(admitted, std::memory_order_relaxed);
+  rejected_.store(rejected, std::memory_order_relaxed);
+  base::MutexLock lock(mu_);
+  rejected_volume_ = rejected_volume;
+}
+
 double RequestIngress::rejected_volume() const {
   base::MutexLock lock(mu_);
   return rejected_volume_;

@@ -53,6 +53,12 @@ class RequestIngress {
   /// earlier release slot are re-stamped to `now`.
   void set_now(int slot) { now_.store(slot, std::memory_order_relaxed); }
 
+  /// Snapshot restore: overwrites the admission counters so a restarted
+  /// server's accounting identity (accepted+rejected+failed == admitted)
+  /// spans the restart. Quiescent use only — call before producers exist.
+  void restore_counters(long submitted, long admitted, long rejected,
+                        double rejected_volume) EXCLUDES(mu_);
+
   long submitted() const { return submitted_.load(std::memory_order_relaxed); }
   long admitted() const { return admitted_.load(std::memory_order_relaxed); }
   long rejected() const { return rejected_.load(std::memory_order_relaxed); }

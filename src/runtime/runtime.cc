@@ -103,6 +103,7 @@ void ControllerRuntime::on_link_down(int slot, int link) {
 }
 
 void ControllerRuntime::invalidate_plans(Backend& b, int slot, int link) {
+  base::MutexLock ledger(ledger_mu_);
   std::vector<int> affected;
   for (const auto& [id, entry] : b.plans) {
     for (const core::Transfer& t : entry.plan.transfers) {
@@ -145,6 +146,7 @@ void ControllerRuntime::invalidate_plans(Backend& b, int slot, int link) {
 }
 
 void ControllerRuntime::invalidate_flows(Backend& b, int slot, int link) {
+  base::MutexLock ledger(ledger_mu_);
   std::vector<int> affected;
   for (const auto& [id, entry] : b.flows) {
     const flow::FlowAssignment& a = entry.assignment;
@@ -407,6 +409,7 @@ void ControllerRuntime::solve_slot(int slot,
       w.degraded = outcome_degraded(r.outcome);
       if (b.postcard != nullptr) track_plans(b, slot, r.plans, r.files);
       if (b.flowbase != nullptr) {
+        base::MutexLock ledger(ledger_mu_);
         for (const flow::FlowAssignment& a : b.flowbase->last_assignments()) {
           auto it = std::find_if(r.files.begin(), r.files.end(),
                                  [&](const net::FileRequest& f) {
@@ -620,6 +623,7 @@ void ControllerRuntime::record_outcome(
 void ControllerRuntime::track_plans(Backend& b, int slot,
                                     const std::vector<core::FilePlan>& plans,
                                     const std::vector<net::FileRequest>& batch) {
+  base::MutexLock ledger(ledger_mu_);
   for (const core::FilePlan& plan : plans) {
     const auto it = std::find_if(batch.begin(), batch.end(),
                                  [&](const net::FileRequest& f) {
@@ -639,6 +643,7 @@ void ControllerRuntime::track_plans(Backend& b, int slot,
 }
 
 void ControllerRuntime::retire_completed(int before_slot) {
+  base::MutexLock ledger(ledger_mu_);
   for (auto& bp : backends_) {
     Backend& b = *bp;
     for (auto it = b.plans.begin(); it != b.plans.end();) {
@@ -692,6 +697,216 @@ RuntimeStats ControllerRuntime::replay(const sim::WorkloadGenerator& workload) {
   }
   flush_in_flight();
   return stats();
+}
+
+bool ControllerRuntime::query_plan(int backend, int file_id,
+                                   core::FilePlan* plan,
+                                   net::FileRequest* request) const {
+  if (backend < 0 || backend >= num_backends()) return false;
+  const Backend& b = *backends_[static_cast<std::size_t>(backend)];
+  base::MutexLock ledger(ledger_mu_);
+  const auto it = b.plans.find(file_id);
+  if (it == b.plans.end()) return false;
+  if (plan != nullptr) *plan = it->second.plan;
+  if (request != nullptr) *request = it->second.request;
+  return true;
+}
+
+RuntimeSnapshot ControllerRuntime::capture_snapshot() const {
+  RuntimeSnapshot snap;
+  snap.num_datacenters = live_topology_.num_datacenters();
+  snap.links = live_topology_.links();
+  snap.base_capacity = base_capacity_;
+  snap.link_down.assign(link_down_.begin(), link_down_.end());
+  snap.next_slot = next_slot_;
+  snap.next_synthetic_id = next_synthetic_id_;
+  snap.submitted = ingress_.submitted();
+  snap.admitted = ingress_.admitted();
+  snap.ingress_rejected = ingress_.rejected();
+  snap.ingress_rejected_volume = ingress_.rejected_volume();
+  snap.pending_events = queue_.pending();
+  {
+    base::MutexLock lock(stats_mu_);
+    snap.slots_processed = slots_processed_;
+    snap.link_events = link_events_;
+    snap.solver_stalls = solver_stalls_;
+    snap.solver_faults = solver_faults_;
+    snap.slot_latency = slot_latency_;
+    snap.solve_latency = solve_latency_;
+    snap.solve_latency_warm = solve_latency_warm_;
+    snap.solve_latency_cold = solve_latency_cold_;
+  }
+  snap.backends.reserve(backends_.size());
+  for (const auto& bp : backends_) {
+    const Backend& b = *bp;
+    BackendSnapshot bs;
+    if (b.postcard != nullptr) {
+      bs.kind = BackendSnapshot::Kind::kPostcard;
+    } else if (b.flowbase != nullptr) {
+      bs.kind = BackendSnapshot::Kind::kFlow;
+    } else {
+      // The generic SchedulingPolicy interface has no charge-state restore
+      // hook, so a snapshot of it could never resume faithfully. Refusing
+      // here is the loud failure; a silent partial snapshot would corrupt
+      // the restored run.
+      throw std::logic_error(
+          "capture_snapshot: generic backends cannot be snapshotted");
+    }
+    const charging::ChargeState& charge = b.policy->charge_state();
+    const charging::PercentileRecorder& rec = charge.recorder();
+    bs.series.reserve(static_cast<std::size_t>(rec.num_links()));
+    for (int l = 0; l < rec.num_links(); ++l) {
+      bs.series.push_back(rec.slot_series(l));
+    }
+    bs.series_slots = rec.num_slots();
+    bs.reduce_violations = rec.reduce_violations();
+    bs.charged = charge.charged_all();
+    if (b.postcard != nullptr) {
+      bs.warm_cache = b.postcard->warm_cache();
+      bs.group_caches = b.group_caches;
+    }
+    {
+      base::MutexLock ledger(ledger_mu_);
+      bs.plans.reserve(b.plans.size());
+      for (const auto& [id, entry] : b.plans) {
+        bs.plans.push_back({entry.request, entry.deadline_slot,
+                            entry.last_transfer_slot, entry.plan});
+      }
+      bs.flows.reserve(b.flows.size());
+      for (const auto& [id, entry] : b.flows) {
+        bs.flows.push_back({entry.request, entry.assignment});
+      }
+    }
+    // Hash-map iteration order is arbitrary; sort so identical state
+    // always serializes to identical bytes.
+    std::sort(bs.plans.begin(), bs.plans.end(),
+              [](const PlanLedgerEntry& a, const PlanLedgerEntry& x) {
+                return a.request.id < x.request.id;
+              });
+    std::sort(bs.flows.begin(), bs.flows.end(),
+              [](const FlowLedgerEntry& a, const FlowLedgerEntry& x) {
+                return a.request.id < x.request.id;
+              });
+    bs.replan_batch = b.replan_batch;
+    bs.carry_batch = b.carry_batch;
+    bs.injected_stall = b.injected_stall;
+    bs.injected_fault = b.injected_fault;
+    {
+      base::MutexLock lock(stats_mu_);
+      bs.stats = b.stats;
+    }
+    bs.name = bs.stats.name;
+    snap.backends.push_back(std::move(bs));
+  }
+  return snap;
+}
+
+void ControllerRuntime::restore_snapshot(const RuntimeSnapshot& snap) {
+  if (next_slot_ != 0) {
+    throw std::logic_error("restore_snapshot: runtime has already ticked");
+  }
+  // --- Validate everything before mutating anything (all-or-nothing). ---
+  if (snap.num_datacenters != live_topology_.num_datacenters() ||
+      static_cast<int>(snap.links.size()) != live_topology_.num_links() ||
+      snap.base_capacity.size() != snap.links.size() ||
+      snap.link_down.size() != snap.links.size()) {
+    throw std::invalid_argument("restore_snapshot: topology shape mismatch");
+  }
+  for (std::size_t l = 0; l < snap.links.size(); ++l) {
+    const net::Link& have = live_topology_.link(static_cast<int>(l));
+    const net::Link& want = snap.links[l];
+    if (have.from != want.from || have.to != want.to ||
+        have.unit_cost != want.unit_cost) {
+      throw std::invalid_argument(
+          "restore_snapshot: link structure mismatch at index " +
+          std::to_string(l));
+    }
+  }
+  if (snap.backends.size() != backends_.size()) {
+    throw std::invalid_argument("restore_snapshot: backend count mismatch");
+  }
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const Backend& b = *backends_[i];
+    const BackendSnapshot& bs = snap.backends[i];
+    const BackendSnapshot::Kind kind =
+        b.postcard != nullptr  ? BackendSnapshot::Kind::kPostcard
+        : b.flowbase != nullptr ? BackendSnapshot::Kind::kFlow
+                                : BackendSnapshot::Kind::kOther;
+    if (kind != bs.kind || kind == BackendSnapshot::Kind::kOther) {
+      throw std::invalid_argument("restore_snapshot: backend " +
+                                  std::to_string(i) + " kind mismatch");
+    }
+    if (b.policy->name() != bs.name) {
+      throw std::invalid_argument("restore_snapshot: backend " +
+                                  std::to_string(i) + " is '" +
+                                  b.policy->name() + "', snapshot holds '" +
+                                  bs.name + "'");
+    }
+    if (static_cast<int>(bs.series.size()) != live_topology_.num_links() ||
+        bs.charged.size() != bs.series.size()) {
+      throw std::invalid_argument("restore_snapshot: charge ledger of '" +
+                                  bs.name + "' has wrong link count");
+    }
+  }
+  // --- Apply. ---
+  next_slot_ = snap.next_slot;
+  next_synthetic_id_ = snap.next_synthetic_id;
+  base_capacity_ = snap.base_capacity;
+  link_down_.assign(snap.link_down.begin(), snap.link_down.end());
+  for (std::size_t l = 0; l < snap.links.size(); ++l) {
+    apply_capacity(static_cast<int>(l), snap.links[l].capacity);
+  }
+  ingress_.restore_counters(snap.submitted, snap.admitted,
+                            snap.ingress_rejected,
+                            snap.ingress_rejected_volume);
+  ingress_.set_now(next_slot_);
+  // pending() captured drain order; re-pushing in that order reassigns
+  // fresh sequence numbers with the same relative ordering.
+  for (const Event& e : snap.pending_events) queue_.push(e.slot, e.payload);
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    Backend& b = *backends_[i];
+    const BackendSnapshot& bs = snap.backends[i];
+    charging::ChargeState charge = charging::ChargeState::restore(
+        charging::PercentileRecorder::from_series(
+            bs.series, bs.series_slots, bs.reduce_violations),
+        bs.charged);
+    if (b.postcard != nullptr) {
+      b.postcard->restore_charge_state(std::move(charge));
+      b.postcard->set_warm_cache(bs.warm_cache);
+      b.group_caches = bs.group_caches;
+    } else {
+      b.flowbase->restore_charge_state(std::move(charge));
+    }
+    {
+      base::MutexLock ledger(ledger_mu_);
+      b.plans.clear();
+      for (const PlanLedgerEntry& entry : bs.plans) {
+        b.plans[entry.plan.file_id] = InFlightPlan{
+            entry.request, entry.deadline_slot, entry.last_transfer_slot,
+            entry.plan};
+      }
+      b.flows.clear();
+      for (const FlowLedgerEntry& entry : bs.flows) {
+        b.flows[entry.assignment.file_id] =
+            InFlightFlow{entry.request, entry.assignment};
+      }
+    }
+    b.replan_batch = bs.replan_batch;
+    b.carry_batch = bs.carry_batch;
+    b.injected_stall = bs.injected_stall;
+    b.injected_fault = bs.injected_fault;
+    base::MutexLock lock(stats_mu_);
+    b.stats = bs.stats;
+  }
+  base::MutexLock lock(stats_mu_);
+  slots_processed_ = snap.slots_processed;
+  link_events_ = snap.link_events;
+  solver_stalls_ = snap.solver_stalls;
+  solver_faults_ = snap.solver_faults;
+  slot_latency_ = snap.slot_latency;
+  solve_latency_ = snap.solve_latency;
+  solve_latency_warm_ = snap.solve_latency_warm;
+  solve_latency_cold_ = snap.solve_latency_cold;
 }
 
 RuntimeStats ControllerRuntime::stats() const {

@@ -48,6 +48,7 @@
 #include "net/topology.h"
 #include "runtime/event.h"
 #include "runtime/ingress.h"
+#include "runtime/snapshot_state.h"
 #include "runtime/stats.h"
 #include "runtime/worker_pool.h"
 #include "sim/policy.h"
@@ -150,7 +151,35 @@ class ControllerRuntime {
   /// by run(); exposed for tests that tick manually.
   void flush_in_flight();
 
+  // --- Snapshot / restore (src/server persistence; see DESIGN.md §11) ---
+
+  /// Captures the complete controller state — charge ledgers, warm-start
+  /// caches, committed in-flight plans, carry-over files, the slot clock,
+  /// pending events and all counters — into a plain-data snapshot. Must be
+  /// called from the driver thread between ticks (the server's command
+  /// loop guarantees this); producers may keep submitting, any arrival
+  /// racing past the capture simply lands in the post-restore queue of the
+  /// NEXT snapshot.
+  RuntimeSnapshot capture_snapshot() const
+      EXCLUDES(stats_mu_, ledger_mu_);
+
+  /// Restores a snapshot into a freshly constructed runtime. The topology
+  /// shape and the backend registration sequence (kinds and names, in
+  /// order) must match the captured runtime's; anything else throws
+  /// std::invalid_argument and leaves the runtime unusable. Must run
+  /// before the first tick. A restored runtime in deterministic mode
+  /// reproduces the captured run's remaining cost series bit for bit.
+  void restore_snapshot(const RuntimeSnapshot& snapshot)
+      EXCLUDES(stats_mu_, ledger_mu_);
+
   // --- Observation ------------------------------------------------------
+
+  /// Committed, not-yet-retired plan of `file_id` on a Postcard backend.
+  /// Thread-safe (server QueryPlan sessions call this concurrently with
+  /// the driver). Returns false when the file has no live plan.
+  bool query_plan(int backend, int file_id, core::FilePlan* plan,
+                  net::FileRequest* request = nullptr) const
+      EXCLUDES(ledger_mu_);
 
   RuntimeStats stats() const EXCLUDES(stats_mu_);
   int num_backends() const { return static_cast<int>(backends_.size()); }
@@ -195,8 +224,10 @@ class ControllerRuntime {
 
   void apply_capacity(int link, double capacity);
   void on_link_down(int slot, int link);
-  void invalidate_plans(Backend& b, int slot, int link) EXCLUDES(stats_mu_);
-  void invalidate_flows(Backend& b, int slot, int link) EXCLUDES(stats_mu_);
+  void invalidate_plans(Backend& b, int slot, int link)
+      EXCLUDES(stats_mu_, ledger_mu_);
+  void invalidate_flows(Backend& b, int slot, int link)
+      EXCLUDES(stats_mu_, ledger_mu_);
   /// Queues `volume` stranded at `node` for replanning, or records the
   /// failure when the deadline has no slack left.
   void requeue_remainder(Backend& b, const net::FileRequest& origin, int node,
@@ -218,8 +249,9 @@ class ControllerRuntime {
       EXCLUDES(stats_mu_);
   void track_plans(Backend& b, int slot,
                    const std::vector<core::FilePlan>& plans,
-                   const std::vector<net::FileRequest>& batch);
-  void retire_completed(int before_slot);
+                   const std::vector<net::FileRequest>& batch)
+      EXCLUDES(ledger_mu_);
+  void retire_completed(int before_slot) EXCLUDES(stats_mu_, ledger_mu_);
   bool is_synthetic(int id) const { return id >= kSyntheticIdBase; }
 
   static constexpr int kSyntheticIdBase = 1 << 28;
@@ -239,6 +271,15 @@ class ControllerRuntime {
   /// master LP actually ran, to the warm/cold start-type split.
   void add_solve_latency(const sim::ScheduleOutcome& outcome, double seconds)
       REQUIRES(stats_mu_);
+
+  // Guards every Backend::plans / Backend::flows ledger: the driver
+  // mutates them while tracking, invalidating and retiring; server
+  // QueryPlan sessions read them concurrently through query_plan(). Taken
+  // strictly before stats_mu_ when both are needed (retire_completed).
+  // Like stats_mu_'s Backend::stats contract, the per-backend halves live
+  // behind unique_ptrs and are enforced by TSAN rather than the static
+  // analysis.
+  mutable base::Mutex ledger_mu_;
 
   // Also guards every Backend::stats: the driver merges under the lock,
   // stats() copies under it. (Per-backend annotation is out of clang's

@@ -32,6 +32,20 @@ class LatencyHistogram {
   /// q in [0, 1]; e.g. quantile(0.99) is the p99 latency in seconds.
   double quantile(double q) const;
 
+  // --- Snapshot capture/restore (src/server serializes these verbatim) ---
+  const std::array<std::int64_t, kBuckets>& buckets() const { return buckets_; }
+  double total_seconds() const { return total_seconds_; }
+  static LatencyHistogram restore(const std::array<std::int64_t, kBuckets>& buckets,
+                                  std::int64_t count, double total_seconds,
+                                  double max_seconds) {
+    LatencyHistogram h;
+    h.buckets_ = buckets;
+    h.count_ = count;
+    h.total_seconds_ = total_seconds;
+    h.max_seconds_ = max_seconds;
+    return h;
+  }
+
  private:
   std::array<std::int64_t, kBuckets> buckets_{};
   std::int64_t count_ = 0;
@@ -102,6 +116,24 @@ struct BackendStats {
   std::vector<double> cost_series;  // cost per interval after each slot
 };
 
+/// Network front-end counters (src/server). Zero unless the runtime is
+/// driven by a PostcardServer, which folds its per-session accounting into
+/// every RuntimeStats snapshot it exports — the QueryStats reply and the
+/// `--metrics-dump` text surface both read from here.
+struct ServerCounters {
+  long sessions_opened = 0;
+  long sessions_closed = 0;
+  long frames_received = 0;
+  long frames_sent = 0;
+  long submits = 0;             // SubmitFile + SubmitBatch file entries
+  long submit_admitted = 0;     // entries the admission control let through
+  long backpressure_replies = 0;  // explicit Backpressure verdicts sent back
+  long queries = 0;             // QueryPlan + QueryStats requests served
+  long protocol_errors = 0;     // malformed frames; each closes its session
+  long snapshots_written = 0;
+  long slots_advanced = 0;      // slots ticked by AdvanceSlot commands/timer
+};
+
 /// Snapshot of the whole engine; see ControllerRuntime::stats().
 struct RuntimeStats {
   int slots_processed = 0;
@@ -124,6 +156,8 @@ struct RuntimeStats {
   LatencyHistogram solve_latency;
   LatencyHistogram solve_latency_warm;
   LatencyHistogram solve_latency_cold;
+  // Socket front-end accounting; all-zero outside server mode.
+  ServerCounters server;
   std::vector<BackendStats> backends;
 };
 

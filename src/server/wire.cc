@@ -1,0 +1,83 @@
+#include "server/wire.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace postcard::server {
+
+std::vector<std::uint8_t> encode_frame(
+    MessageType type, const std::vector<std::uint8_t>& payload) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF on a frame boundary
+      throw WireError("connection closed mid-frame (" + std::to_string(got) +
+                      " of " + std::to_string(n) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    throw WireError("recv failed: errno " + std::to_string(errno));
+  }
+  return true;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    throw WireError("send failed: errno " + std::to_string(errno));
+  }
+}
+
+bool read_frame(int fd, Frame* out, std::size_t max_frame_bytes) {
+  std::uint8_t header[8];
+  if (!read_exact(fd, header, sizeof(header))) return false;
+  ByteReader r(header, sizeof(header));
+  const std::uint32_t payload_len = r.u32();
+  const std::uint16_t version = r.u16();
+  const std::uint16_t type = r.u16();
+  if (version != kProtocolVersion) {
+    throw WireError("protocol version " + std::to_string(version) +
+                    " unsupported (expected " +
+                    std::to_string(kProtocolVersion) + ")");
+  }
+  if (payload_len > max_frame_bytes) {
+    throw WireError("declared payload of " + std::to_string(payload_len) +
+                    " bytes exceeds frame limit of " +
+                    std::to_string(max_frame_bytes));
+  }
+  out->type = static_cast<MessageType>(type);
+  out->payload.assign(payload_len, 0);
+  if (payload_len > 0 && !read_exact(fd, out->payload.data(), payload_len)) {
+    throw WireError("connection closed before " + std::to_string(payload_len) +
+                    "-byte payload arrived");
+  }
+  return true;
+}
+
+void write_frame(int fd, MessageType type,
+                 const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  write_all(fd, frame.data(), frame.size());
+}
+
+}  // namespace postcard::server

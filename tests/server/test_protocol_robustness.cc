@@ -1,0 +1,267 @@
+// Protocol abuse suite: every way a client can misbehave on the wire —
+// garbage bytes, truncated frames, lying lengths, unknown types, wrong
+// versions, dribbled partial frames, oversized batches — must cost that
+// client its session (with an Error reply when the socket still works)
+// and NOTHING else: the server stays up, concurrent well-behaved clients
+// keep working, and the whole suite is sanitizer-clean (`server` label
+// runs under ASan/UBSan/TSAN).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "sim/workload.h"
+
+namespace postcard::server {
+namespace {
+
+sim::WorkloadParams tiny_workload(std::uint64_t seed) {
+  sim::WorkloadParams p;
+  p.num_datacenters = 4;
+  p.link_capacity = 100.0;
+  p.files_per_slot_min = 1;
+  p.files_per_slot_max = 2;
+  p.size_min = 10.0;
+  p.size_max = 50.0;
+  p.deadline_min = 1;
+  p.deadline_max = 2;
+  p.num_slots = 4;
+  p.seed = seed;
+  return p;
+}
+
+/// Raw socket without any protocol smarts, for speaking garbage.
+class RawConn {
+ public:
+  explicit RawConn(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    write_all(fd_, bytes.data(), bytes.size());
+  }
+  /// Reads until EOF; returns everything the server sent.
+  std::vector<std::uint8_t> drain() {
+    std::vector<std::uint8_t> out;
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+      if (r <= 0) break;
+      out.insert(out.end(), buf, buf + r);
+    }
+    return out;
+  }
+  void half_close() { ::shutdown(fd_, SHUT_WR); }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Asserts the drained bytes are exactly one kError frame.
+void expect_error_frame(const std::vector<std::uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), 8u);
+  ByteReader r(bytes);
+  const std::uint32_t len = r.u32();
+  EXPECT_EQ(r.u16(), kProtocolVersion);
+  EXPECT_EQ(static_cast<MessageType>(r.u16()), MessageType::kError);
+  EXPECT_EQ(len, r.remaining());
+}
+
+class RobustnessTest : public testing::Test {
+ protected:
+  RobustnessTest()
+      : workload_(tiny_workload(41)),
+        server_(net::Topology(workload_.topology()), ServerOptions{}) {
+    server_.add_postcard_backend();
+    server_.start();
+  }
+  ~RobustnessTest() override {
+    server_.request_shutdown();
+    server_.wait();
+  }
+
+  /// The healthy-client check every abuse case ends with: the server must
+  /// still answer a well-formed session correctly.
+  void expect_server_alive() {
+    PostcardClient client("127.0.0.1", server_.port());
+    net::FileRequest f;
+    f.id = next_id_++;
+    f.source = 0;
+    f.destination = 1;
+    f.size = 10.0;
+    f.max_transfer_slots = 2;
+    EXPECT_TRUE(client.submit_file(f).admitted);
+  }
+
+  sim::UniformWorkload workload_;
+  PostcardServer server_;
+  int next_id_ = 1000;
+};
+
+TEST_F(RobustnessTest, GarbageHeaderClosesSessionLoudly) {
+  RawConn conn(server_.port());
+  conn.send_bytes({0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef});
+  conn.half_close();
+  // Garbage decodes as an absurd length or alien version: Error + close.
+  expect_error_frame(conn.drain());
+  expect_server_alive();
+  EXPECT_GE(server_.stats().server.protocol_errors, 1);
+}
+
+TEST_F(RobustnessTest, OversizedDeclaredLengthRejected) {
+  RawConn conn(server_.port());
+  ByteWriter header;
+  header.u32(0xfffffff0u);
+  header.u16(kProtocolVersion);
+  header.u16(static_cast<std::uint16_t>(MessageType::kSubmitBatch));
+  conn.send_bytes(header.take());
+  conn.half_close();
+  expect_error_frame(conn.drain());
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, UnknownMessageTypeRejected) {
+  RawConn conn(server_.port());
+  conn.send_bytes(encode_frame(static_cast<MessageType>(0x7777), {}));
+  conn.half_close();
+  expect_error_frame(conn.drain());
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, WrongProtocolVersionRejected) {
+  RawConn conn(server_.port());
+  ByteWriter header;
+  header.u32(0);
+  header.u16(kProtocolVersion + 7);
+  header.u16(static_cast<std::uint16_t>(MessageType::kQueryStats));
+  conn.send_bytes(header.take());
+  conn.half_close();
+  expect_error_frame(conn.drain());
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, TruncatedFrameThenEofIsHandled) {
+  RawConn conn(server_.port());
+  const std::vector<std::uint8_t> full = encode_frame(
+      MessageType::kSubmitFile, SubmitFileRequest{}.encode());
+  std::vector<std::uint8_t> partial(full.begin(), full.end() - 5);
+  conn.send_bytes(partial);
+  conn.half_close();  // EOF mid-frame
+  // Mid-frame EOF: the server logs a protocol error; no reply is owed.
+  conn.drain();
+  expect_server_alive();
+  EXPECT_GE(server_.stats().server.protocol_errors, 1);
+}
+
+TEST_F(RobustnessTest, TruncatedPayloadInsideValidFrameRejected) {
+  // The frame is well-formed, but the payload is one byte short for its
+  // message type: the bounds-checked decoder must throw, not over-read.
+  RawConn conn(server_.port());
+  SubmitFileRequest req;
+  req.file.id = 1;
+  req.file.source = 0;
+  req.file.destination = 1;
+  req.file.size = 10.0;
+  std::vector<std::uint8_t> payload = req.encode();
+  payload.pop_back();
+  conn.send_bytes(encode_frame(MessageType::kSubmitFile, payload));
+  conn.half_close();
+  expect_error_frame(conn.drain());
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, TrailingGarbageAfterPayloadRejected) {
+  RawConn conn(server_.port());
+  std::vector<std::uint8_t> payload;  // QueryStats expects an empty payload
+  payload.push_back(0x55);
+  conn.send_bytes(encode_frame(MessageType::kQueryStats, payload));
+  conn.half_close();
+  expect_error_frame(conn.drain());
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, LyingBatchCountRejected) {
+  RawConn conn(server_.port());
+  ByteWriter payload;
+  payload.u32(1000000);  // declares a million files, delivers none
+  conn.send_bytes(encode_frame(MessageType::kSubmitBatch, payload.take()));
+  conn.half_close();
+  expect_error_frame(conn.drain());
+  expect_server_alive();
+}
+
+TEST_F(RobustnessTest, ByteByByteFrameStillParses) {
+  // Slow-loris pacing is not a protocol violation: a frame dribbled one
+  // byte at a time must be answered normally.
+  RawConn conn(server_.port());
+  net::FileRequest f;
+  f.id = 7;
+  f.source = 0;
+  f.destination = 2;
+  f.size = 12.0;
+  f.max_transfer_slots = 2;
+  SubmitFileRequest req;
+  req.file = f;
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kSubmitFile, req.encode());
+  for (std::uint8_t byte : frame) {
+    conn.send_bytes({byte});
+  }
+  Frame reply;
+  ASSERT_TRUE(read_frame(conn.fd(), &reply));
+  EXPECT_EQ(reply.type, MessageType::kSubmitReply);
+  EXPECT_TRUE(SubmitReply::decode(reply.payload).verdict.admitted);
+}
+
+TEST_F(RobustnessTest, AbuseDoesNotDisturbConcurrentClients) {
+  // Four well-behaved clients submit while four abusers spray garbage;
+  // every good submission must be answered correctly.
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([this, c, &admitted] {
+      PostcardClient client("127.0.0.1", server_.port());
+      for (int i = 0; i < 10; ++i) {
+        net::FileRequest f;
+        f.id = 10000 + c * 100 + i;
+        f.source = c % 4;
+        f.destination = (c + 1) % 4;
+        f.size = 5.0;
+        f.max_transfer_slots = 2;
+        if (client.submit_file(f).admitted) admitted.fetch_add(1);
+      }
+    });
+    threads.emplace_back([this] {
+      RawConn conn(server_.port());
+      conn.send_bytes({0xff, 0xff, 0xff, 0xff, 0x00, 0x99, 0x12, 0x34});
+      conn.half_close();
+      conn.drain();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 40);
+  const runtime::RuntimeStats stats = server_.stats();
+  EXPECT_EQ(stats.server.submit_admitted, 40);
+  EXPECT_GE(stats.server.protocol_errors, 4);
+  expect_server_alive();
+}
+
+}  // namespace
+}  // namespace postcard::server

@@ -1,0 +1,126 @@
+// Concurrency soak: eight protocol clients hammer one server across 50+
+// slots — submits racing the slot clock, plan and stats queries racing
+// the driver's commits, periodic snapshots racing everything. Run under
+// the TSAN preset via the `server` ctest label; the assertions close the
+// books with the accounting identity (every admitted file is accepted,
+// rejected or failed by the solver — none lost) and exact agreement
+// between the server's session counters and the ingress's own tallies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <unistd.h>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "server/snapshot.h"
+
+namespace postcard::server {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kSlots = 52;
+constexpr int kFilesPerClient = 60;
+
+net::Topology soak_topology() {
+  // Small 4-DC full mesh with ample capacity: solves stay cheap, so the
+  // test exercises concurrency, not the LP.
+  net::Topology t(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) t.set_link(a, b, 200.0, 1.0 + a + b);
+    }
+  }
+  return t;
+}
+
+TEST(ServerSoak, EightClientsFiftySlotsNothingLost) {
+  const std::string snap_path = testing::TempDir() + "postcard_soak_" +
+                                std::to_string(::getpid()) + ".psnp";
+  ServerOptions options;
+  options.snapshot_path = snap_path;
+  PostcardServer server{soak_topology(), options};
+  server.add_postcard_backend();
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<long> admitted{0};
+  std::atomic<long> backpressured{0};
+
+  // Eight sessions: submit, query plans and stats, snapshot — all racing
+  // the driver thread that is ticking the slot clock.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      PostcardClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kFilesPerClient; ++i) {
+        net::FileRequest f;
+        f.id = (c + 1) * 100000 + i;
+        f.source = c % 4;
+        f.destination = (c + 1 + i) % 4;
+        if (f.destination == f.source) f.destination = (f.destination + 1) % 4;
+        f.size = 1.0 + (i % 7);
+        f.max_transfer_slots = 1 + (i % 3);
+        const SubmitVerdict v = client.submit_file(f);
+        if (v.admitted) {
+          admitted.fetch_add(1);
+          if (i % 9 == 0) client.query_plan(0, f.id);
+        } else {
+          backpressured.fetch_add(1);
+        }
+        if (i % 17 == 0) client.query_stats();
+        if (c == 0 && i % 25 == 10) client.snapshot(snap_path);
+      }
+    });
+  }
+
+  // The driver clock: tick until every client finished, then a tail long
+  // enough for the longest deadline, totalling at least kSlots.
+  std::thread clock([&] {
+    PostcardClient driver("127.0.0.1", server.port());
+    int slot = 0;
+    while (slot < kSlots || !done.load(std::memory_order_acquire)) {
+      slot = driver.advance(1);
+    }
+    driver.advance(4);  // drain the longest deadline
+  });
+
+  for (std::thread& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  clock.join();
+
+  server.request_shutdown();
+  server.wait();
+
+  const runtime::RuntimeStats stats = server.stats();
+  // Session-side and ingress-side books agree exactly.
+  EXPECT_EQ(stats.server.submits, kClients * kFilesPerClient);
+  EXPECT_EQ(stats.submitted, kClients * kFilesPerClient);
+  EXPECT_EQ(stats.server.submit_admitted, admitted.load());
+  EXPECT_EQ(stats.admitted, admitted.load());
+  EXPECT_EQ(stats.server.backpressure_replies, backpressured.load());
+  EXPECT_EQ(stats.ingress_rejected, backpressured.load());
+  EXPECT_GE(stats.slots_processed, kSlots);
+  EXPECT_EQ(stats.server.protocol_errors, 0);
+  EXPECT_EQ(stats.server.sessions_opened, kClients + 1);
+
+  // The accounting identity: every admitted file was accepted, rejected
+  // or failed by the solver — none vanished into the concurrency.
+  ASSERT_EQ(stats.backends.size(), 1u);
+  const runtime::BackendStats& b = stats.backends[0];
+  EXPECT_EQ(b.accepted_files + b.rejected_files + b.failed_files,
+            stats.admitted);
+  // Ample capacity and drained deadlines: everything accepted delivered.
+  EXPECT_EQ(b.delivered_files, b.accepted_files);
+  EXPECT_EQ(b.audit_violations, 0);
+  EXPECT_TRUE(b.audit_armed);
+
+  // The periodic snapshots and the final one were written and readable.
+  EXPECT_GE(stats.server.snapshots_written, 1);
+  EXPECT_GE(read_snapshot_file(snap_path).next_slot, kSlots);
+  std::remove(snap_path.c_str());
+}
+
+}  // namespace
+}  // namespace postcard::server
