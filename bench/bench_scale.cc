@@ -1,76 +1,146 @@
-// Scaling: wall time of one Postcard slot solve (column generation) as the
-// datacenter count and batch size grow, plus the flow baseline for contrast.
-// This is the bench that justifies the reduced default figure scale on a
-// single core (EXPERIMENTS.md).
+// Scale sweep: datacenter count x arrivals per slot (100+ DCs at 1k
+// arrivals/slot), on the topology generators of src/net/generators.h.
+//
+// Each configuration replays a seeded workload through the full runtime —
+// sparse incremental time-expanded graph, split-batch sharding floor, the
+// fail-fast plan auditor armed — under a fixed per-slot pivot budget, the
+// production watchdog posture. Reported per config:
+//
+//   scale_<cfg>_slot_p50_ms / _slot_p99_ms   whole-slot latency
+//   scale_<cfg>_degraded_slots               slots the ladder fired in
+//   scale_<cfg>_rejected_share               admission pressure
+//
+// plus one sweep-wide marker, scale_ladder_first_engaged_dcs: the smallest
+// datacenter count whose run engaged the degradation ladder (0 = never).
+// The trajectory gate (scripts/summarize_benches.py) latches the latency
+// keys by suffix and degraded_slots by name, so a scaling regression or the
+// ladder engaging earlier in the sweep fails the build loudly.
+//
+// A completed run is itself an acceptance check: the auditor is in
+// kFailFast mode, so an invalid committed plan at scale would throw
+// instead of finishing.
+//
+// Build & run:  cmake --build build && ./build/bench/bench_scale
 #include <benchmark/benchmark.h>
 
-#include "core/column_generation.h"
-#include "flow/baseline.h"
+#include <iterator>
+#include <memory>
+#include <string>
+
+#include "bench_json.h"
+#include "net/generators.h"
+#include "runtime/runtime.h"
 #include "sim/workload.h"
 
+namespace postcard::bench {
 namespace {
 
-using namespace postcard;
+// Deterministic stand-in for the paper's U[1,10] per-link unit costs.
+double link_cost(int a, int b) {
+  return 1.0 + ((a * 131 + b * 17) % 90) / 10.0;
+}
 
-sim::UniformWorkload scale_workload(int dcs, int files) {
+struct ScaleConfig {
+  const char* name;  // metric key stem
+  int fat_tree_k;    // 0 = 20-DC complete graph (the paper's shape)
+  int arrivals;      // files per slot
+  int deadline_min;  // >= diameter on the Fat-Trees (4), else most files
+  int deadline_max;  //   are structurally unroutable
+  int num_slots;
+};
+
+// DC count rises 20 -> 45 -> 80 -> 125 while arrivals rise 50 -> 1000.
+constexpr ScaleConfig kConfigs[] = {
+    {"complete20_a50", 0, 50, 1, 3, 4},
+    {"fat6_a200", 6, 200, 4, 6, 3},
+    {"fat8_a500", 8, 500, 4, 6, 3},
+    {"fat10_a1000", 10, 1000, 4, 6, 3},
+};
+constexpr int kNumConfigs = static_cast<int>(std::size(kConfigs));
+
+// Pivot budget per slot: generous for the small shapes, a hard wall the
+// 100+ DC masters run into — which is the point: the bench reports where
+// in the sweep the degradation ladder starts carrying the load.
+constexpr long kPivotBudget = 20000;
+
+std::unique_ptr<sim::WorkloadGenerator> make_workload(const ScaleConfig& c) {
   sim::WorkloadParams p;
-  p.num_datacenters = dcs;
-  p.link_capacity = 30.0;
-  p.files_per_slot_min = files;
-  p.files_per_slot_max = files;
-  p.deadline_min = 1;
-  p.deadline_max = 8;
-  p.size_min = 5.0;
-  p.size_max = 25.0;
-  p.num_slots = 1;
-  p.seed = 21;
-  return sim::UniformWorkload(p);
+  p.num_datacenters = 20;
+  p.link_capacity = 100.0;
+  p.files_per_slot_min = c.arrivals;
+  p.files_per_slot_max = c.arrivals;
+  p.size_min = 10.0;
+  p.size_max = 50.0;
+  p.deadline_min = c.deadline_min;
+  p.deadline_max = c.deadline_max;
+  p.num_slots = c.num_slots;
+  p.seed = 100 + static_cast<std::uint64_t>(c.fat_tree_k);
+  if (c.fat_tree_k == 0) {
+    return std::make_unique<sim::UniformWorkload>(p);
+  }
+  return std::make_unique<sim::TopologyWorkload>(
+      net::fat_tree(c.fat_tree_k, p.link_capacity, link_cost), p);
 }
 
-void BM_Scale_PostcardSlot(benchmark::State& state) {
-  const sim::UniformWorkload w(
-      scale_workload(static_cast<int>(state.range(0)),
-                     static_cast<int>(state.range(1))));
-  const auto files = w.batch(0);
-  double obj = 0.0;
-  for (auto _ : state) {
-    charging::ChargeState charge(w.topology().num_links());
-    const auto r = core::solve_postcard_by_paths(w.topology(), charge, 0, files);
-    obj = r.objective;
-    benchmark::ClobberMemory();
-  }
-  state.counters["objective"] = obj;
-}
-BENCHMARK(BM_Scale_PostcardSlot)
-    ->ArgNames({"dcs", "files"})
-    ->Args({4, 4})
-    ->Args({6, 4})
-    ->Args({8, 6})
-    ->Args({10, 6})
-    ->Args({12, 8})
-    ->Unit(benchmark::kMillisecond);
+// Smallest DC count whose run degraded, latched across the sweep (the
+// configs run in registration order within one process).
+int g_first_ladder_dcs = 0;
 
-void BM_Scale_FlowBaselineSlot(benchmark::State& state) {
-  const sim::UniformWorkload w(
-      scale_workload(static_cast<int>(state.range(0)),
-                     static_cast<int>(state.range(1))));
-  const auto files = w.batch(0);
-  double cost = 0.0;
+void BM_Scale(benchmark::State& state) {
+  const ScaleConfig& config = kConfigs[state.range(0)];
+  const std::unique_ptr<sim::WorkloadGenerator> workload =
+      make_workload(config);
+  const int num_dcs = workload->topology().num_datacenters();
+
+  runtime::RuntimeStats stats;
   for (auto _ : state) {
-    flow::FlowBaseline baseline{net::Topology(w.topology())};
-    baseline.schedule(0, files);
-    cost = baseline.cost_per_interval();
-    benchmark::ClobberMemory();
+    runtime::RuntimeOptions options;
+    options.slot_pivot_budget = kPivotBudget;
+    // At this scale every group clone copies a 100+ DC charge ledger and
+    // graph arena; the sharding floor keeps tiny stripes from paying it.
+    options.min_group_files = 64;
+    runtime::ControllerRuntime engine{net::Topology(workload->topology()),
+                                      options};
+    engine.add_postcard_backend();
+    stats = engine.replay(*workload);
+    benchmark::DoNotOptimize(stats.slots_processed);
   }
-  state.counters["cost"] = cost;
+
+  const runtime::BackendStats& b = stats.backends[0];
+  const double p50_ms = 1e3 * stats.slot_latency.quantile(0.5);
+  const double p99_ms = 1e3 * stats.slot_latency.quantile(0.99);
+  const long total = b.accepted_files + b.rejected_files;
+  const double rejected_share =
+      total > 0 ? static_cast<double>(b.rejected_files) / total : 0.0;
+  if (b.degraded_slots > 0 && g_first_ladder_dcs == 0) {
+    g_first_ladder_dcs = num_dcs;
+  }
+
+  state.counters["dcs"] = num_dcs;
+  state.counters["arrivals"] = config.arrivals;
+  state.counters["slot_p99_ms"] = p99_ms;
+  state.counters["degraded_slots"] = static_cast<double>(b.degraded_slots);
+  state.counters["rejected_share"] = rejected_share;
+  const std::string key = std::string("scale_") + config.name;
+  record_json_metric(key + "_slot_p50_ms", p50_ms);
+  record_json_metric(key + "_slot_p99_ms", p99_ms);
+  record_json_metric(key + "_degraded_slots",
+                     static_cast<double>(b.degraded_slots));
+  record_json_metric(key + "_rejected_share", rejected_share);
+  if (state.range(0) == kNumConfigs - 1) {
+    record_json_metric("scale_ladder_first_engaged_dcs",
+                       static_cast<double>(g_first_ladder_dcs));
+  }
 }
-BENCHMARK(BM_Scale_FlowBaselineSlot)
-    ->ArgNames({"dcs", "files"})
-    ->Args({4, 4})
-    ->Args({8, 6})
-    ->Args({12, 8})
-    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Scale)
+    ->DenseRange(0, kNumConfigs - 1)
+    ->ArgName("config")
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
+}  // namespace postcard::bench
 
-BENCHMARK_MAIN();
+POSTCARD_BENCHMARK_MAIN_WITH_JSON("scale");

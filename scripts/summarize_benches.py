@@ -35,7 +35,9 @@ Thresholds by metric-name suffix/kind:
 import json
 import os
 import re
+import shutil
 import sys
+import tempfile
 
 
 # --------------------------------------------------------------------------
@@ -146,12 +148,34 @@ def load_bench_jsons(directory):
     return out
 
 
+def record_baseline(prev_dir, new_dir):
+    """Copies every BENCH_*.json from new_dir into prev_dir (creating it);
+    returns the recorded file names."""
+    os.makedirs(prev_dir, exist_ok=True)
+    recorded = []
+    for entry in sorted(os.listdir(new_dir)):
+        if re.fullmatch(r"BENCH_(.+)\.json", entry):
+            shutil.copyfile(os.path.join(new_dir, entry),
+                            os.path.join(prev_dir, entry))
+            recorded.append(entry)
+    return recorded
+
+
 def check_trajectory(prev_dir, new_dir):
     prev = load_bench_jsons(prev_dir)
     new = load_bench_jsons(new_dir)
     if not prev:
-        print(f"TRAJECTORY_SKIPPED no previous BENCH_*.json in {prev_dir} "
-              "(first run establishes the baseline)")
+        # First run in this workspace: there is nothing to compare against.
+        # Record the fresh results AS the baseline (so the very next run is
+        # gated) instead of silently passing with no baseline in place.
+        if not new:
+            print(f"TRAJECTORY_SKIPPED no BENCH_*.json in {prev_dir} or "
+                  f"{new_dir} — nothing to record or compare")
+            return 0
+        recorded = record_baseline(prev_dir, new_dir)
+        print(f"TRAJECTORY_BASELINE no baseline in {prev_dir}; recorded "
+              f"{len(recorded)} BENCH_*.json file(s) from {new_dir} as the "
+              "baseline (nothing compared, gate passes)")
         return 0
     if not new:
         print(f"REGRESSION no new BENCH_*.json in {new_dir} — benches stopped "
@@ -209,6 +233,13 @@ def self_test():
         ("Fig4_c100_T3_Postcard_rejected_share", 0.10, 0.11, False),
         ("Fig4_c100_T3_Postcard_rejected_share", 0.10, 0.20, True),
         ("cold_starts", 4.0, 400.0, False),             # informational only
+        # bench_scale emits per-config slot latencies and ladder counts; the
+        # existing suffix/kind rules must gate them without special-casing.
+        ("scale_fat10_a1000_slot_p99_ms", 80.0, 300.0, True),
+        ("scale_fat10_a1000_slot_p50_ms", 0.5, 1.2, False),  # under floor
+        ("scale_fat10_a1000_degraded_slots", 2.0, 3.0, False),
+        ("scale_fat10_a1000_degraded_slots", 2.0, 9.0, True),
+        ("scale_complete20_a50_first_degraded_slot", 3.0, 1.0, False),  # info
     ]
     failures = 0
     for key, old, new, expect in cases:
@@ -217,9 +248,35 @@ def self_test():
             print(f"SELF_TEST_FAILED {key} old={old} new={new} "
                   f"expected regression={expect} got={got}")
             failures += 1
+
+    # First-run trajectory behavior: an empty baseline directory records the
+    # new results and passes; the recorded baseline then gates the next run.
+    with tempfile.TemporaryDirectory() as tmp:
+        prev_dir = os.path.join(tmp, "prev")
+        new_dir = os.path.join(tmp, "new")
+        os.makedirs(new_dir)
+        with open(os.path.join(new_dir, "BENCH_scale.json"), "w") as f:
+            json.dump({"metrics": {"scale_fat10_a1000_slot_p99_ms": 12.0}}, f)
+        if check_trajectory(prev_dir, new_dir) != 0:
+            print("SELF_TEST_FAILED first run without a baseline must pass")
+            failures += 1
+        if not os.path.isfile(os.path.join(prev_dir, "BENCH_scale.json")):
+            print("SELF_TEST_FAILED first run must record the baseline")
+            failures += 1
+        if check_trajectory(prev_dir, new_dir) != 0:
+            print("SELF_TEST_FAILED identical re-run against the recorded "
+                  "baseline must pass")
+            failures += 1
+        with open(os.path.join(new_dir, "BENCH_scale.json"), "w") as f:
+            json.dump({"metrics": {"scale_fat10_a1000_slot_p99_ms": 500.0}}, f)
+        if check_trajectory(prev_dir, new_dir) == 0:
+            print("SELF_TEST_FAILED regression vs the recorded baseline "
+                  "must fail the gate")
+            failures += 1
+
     if failures:
         return 1
-    print(f"SELF_TEST_OK {len(cases)} cases")
+    print(f"SELF_TEST_OK {len(cases)} threshold cases + baseline recording")
     return 0
 
 

@@ -7,9 +7,12 @@
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <optional>
 #include <set>
+#include <tuple>
 
 #include "lp/simplex.h"
+#include "net/sparse_time_expanded.h"
 #include "net/time_expanded.h"
 
 namespace postcard::core {
@@ -30,7 +33,7 @@ namespace {
 /// cached basic X variable and logical status.
 lp::RevisedSimplex::WarmStart remap_warm_basis(
     const MasterWarmCache& cache, const lp::LpModel& master,
-    const net::TimeExpandedGraph& graph, int slot,
+    const std::vector<net::TimeArc>& arcs, int slot,
     const std::vector<int>& xv, const std::vector<int>& zv,
     const std::vector<int>& demand_row, const std::vector<int>& cap_row,
     const std::vector<int>& chg_row, bool carry) {
@@ -63,9 +66,9 @@ lp::RevisedSimplex::WarmStart remap_warm_basis(
     ws.basis[row] = xv[cached_basic];
     ws.row_status[row] = cached_status;
   };
-  for (int a = 0; a < graph.num_arcs(); ++a) {
+  for (std::size_t a = 0; a < arcs.size(); ++a) {
     if (cap_row[a] < 0) continue;
-    const net::TimeArc& arc = graph.arcs()[a];
+    const net::TimeArc& arc = arcs[a];
     const auto it =
         cache.arc_rows.find({arc.link_index, slot + arc.layer});
     if (it == cache.arc_rows.end()) continue;
@@ -78,7 +81,7 @@ lp::RevisedSimplex::WarmStart remap_warm_basis(
 /// Captures the final master basis into the cache, keyed by the (link,
 /// absolute slot) identity of each capacity/epigraph row pair.
 void capture_warm_basis(const lp::RevisedSimplex::WarmStart& warm,
-                        const net::TimeExpandedGraph& graph, int slot,
+                        const std::vector<net::TimeArc>& arcs, int slot,
                         int num_links, const std::vector<int>& cap_row,
                         const std::vector<int>& chg_row,
                         MasterWarmCache* cache) {
@@ -89,9 +92,9 @@ void capture_warm_basis(const lp::RevisedSimplex::WarmStart& warm,
     if (b < num_links) return b;  // X columns are the first num_links vars
     return MasterWarmCache::kDropped;  // z or path column: gone next slot
   };
-  for (int a = 0; a < graph.num_arcs(); ++a) {
+  for (std::size_t a = 0; a < arcs.size(); ++a) {
     if (cap_row[a] < 0) continue;
-    const net::TimeArc& arc = graph.arcs()[a];
+    const net::TimeArc& arc = arcs[a];
     MasterWarmCache::ArcRowState st;
     st.cap_basic = classify(cap_row[a]);
     st.chg_basic = classify(chg_row[a]);
@@ -111,7 +114,8 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
                                         const std::vector<net::FileRequest>& files,
                                         const PathSolveOptions& options,
                                         MasterWarmCache* warm_cache,
-                                        lp::SolveBudget* budget) {
+                                        lp::SolveBudget* budget,
+                                        net::SparseTimeGraph* sparse_graph) {
   PathSolveResult result;
   if (files.empty()) {
     result.ok = true;
@@ -124,15 +128,31 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   }
 
   const int horizon = net::max_deadline(files);
-  const net::TimeExpandedGraph graph(
-      topology, slot, horizon,
-      [&](int link, int s) {
-        return std::max(0.0,
-                        topology.link(link).capacity - charge.committed(link, s));
-      });
+  const auto residual_fn = [&](int link, int s) {
+    return std::max(0.0,
+                    topology.link(link).capacity - charge.committed(link, s));
+  };
+  // Graph backend: a caller-owned sparse arena advanced in place, or the
+  // legacy dense rebuild. Both expose the identical arc sequence (same
+  // layer-block layout), so everything below is backend-agnostic.
+  std::optional<net::TimeExpandedGraph> dense;
+  if (sparse_graph != nullptr) {
+    sparse_graph->advance_to(topology, slot, horizon, residual_fn);
+  } else {
+    dense.emplace(topology, slot, horizon, residual_fn);
+  }
+  const std::vector<net::TimeArc>& arcs =
+      sparse_graph != nullptr ? sparse_graph->arcs() : dense->arcs();
+  std::vector<std::pair<int, int>> layer_ranges(
+      static_cast<std::size_t>(horizon));
+  for (int layer = 0; layer < horizon; ++layer) {
+    layer_ranges[layer] = sparse_graph != nullptr
+                              ? sparse_graph->layer_arc_range(layer)
+                              : dense->layer_arc_range(layer);
+  }
   const int n = topology.num_datacenters();
   const int num_files = static_cast<int>(files.size());
-  const int num_arcs = graph.num_arcs();
+  const int num_arcs = static_cast<int>(arcs.size());
 
   // ---- Restricted master: X, z, and the fixed row structure.
   lp::LpModel master;
@@ -150,7 +170,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   }
   std::vector<int> cap_row(num_arcs, -1), chg_row(num_arcs, -1);
   for (int a = 0; a < num_arcs; ++a) {
-    const net::TimeArc& arc = graph.arcs()[a];
+    const net::TimeArc& arc = arcs[a];
     if (arc.storage()) continue;
     cap_row[a] = master.add_constraint(-lp::kInfinity, arc.capacity);
     chg_row[a] = master.add_constraint(
@@ -179,6 +199,69 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     return true;
   };
 
+  // ---- Per-commodity reachability pruning (sparse backend only).
+  //
+  // A commodity is a distinct (source, destination, deadline): its pricing
+  // DP can only ever use an arc at layer L whose tail is reachable from the
+  // source within L links AND whose head can still reach the destination in
+  // the remaining deadline - L - 1 layers (structural hops; storage does
+  // not move). Each commodity gets a compact per-layer arc list holding
+  // exactly those arcs, in the block order of the full sweep, built once
+  // per solve and reused across every pricing round.
+  //
+  // Bit-for-bit safety: a tail-pruned arc relaxes from a cell the DP can
+  // never make finite (dist stays -inf), and head-pruned arcs only write
+  // cells that are closed under forward arcs away from the destination —
+  // the reconstruction walk from (destination, deadline) never enters
+  // them. Every dist/pred cell the walk reads is therefore identical to
+  // the full sweep's, so the generated columns (and the master, and the
+  // plans) do not change.
+  struct CommodityView {
+    std::vector<int> arc_ids;
+    std::vector<int> layer_begin;  // deadline + 1 offsets into arc_ids
+  };
+  std::vector<CommodityView> views;
+  constexpr int kFullSweep = -1;   // dense backend: price over every arc
+  constexpr int kUnreachable = -2; // no path within the deadline: skip file
+  std::vector<int> file_view(static_cast<std::size_t>(num_files), kFullSweep);
+  if (sparse_graph != nullptr) {
+    std::map<std::tuple<int, int, int>, int> by_commodity;
+    for (int k = 0; k < num_files; ++k) {
+      const int src = files[k].source;
+      const int dst = files[k].destination;
+      const int deadline = files[k].max_transfer_slots;
+      if (sparse_graph->hops(src, dst) > deadline) {
+        file_view[k] = kUnreachable;
+        continue;
+      }
+      const auto [it, inserted] =
+          by_commodity.try_emplace({src, dst, deadline},
+                                   static_cast<int>(views.size()));
+      file_view[k] = it->second;
+      if (!inserted) continue;
+      CommodityView view;
+      const int* fwd = sparse_graph->hops_from(src);
+      view.layer_begin.reserve(static_cast<std::size_t>(deadline) + 1);
+      for (int layer = 0; layer < deadline; ++layer) {
+        view.layer_begin.push_back(static_cast<int>(view.arc_ids.size()));
+        const auto [begin, end] = layer_ranges[layer];
+        const int remaining = deadline - layer - 1;
+        for (int a = begin; a < end; ++a) {
+          const net::TimeArc& arc = arcs[a];
+          if (arc.storage() && !options.allow_storage &&
+              arc.from_node != src && arc.from_node != dst) {
+            continue;
+          }
+          if (fwd[arc.from_node] > layer) continue;
+          if (sparse_graph->hops(arc.to_node, dst) > remaining) continue;
+          view.arc_ids.push_back(a);
+        }
+      }
+      view.layer_begin.push_back(static_cast<int>(view.arc_ids.size()));
+      views.push_back(std::move(view));
+    }
+  }
+
   lp::RevisedSimplex::Options simplex_opts;
   simplex_opts.feas_tol = options.master_lp.feas_tol;
   simplex_opts.opt_tol = options.master_lp.opt_tol;
@@ -188,7 +271,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   lp::RevisedSimplex simplex(simplex_opts);
   lp::RevisedSimplex::WarmStart warm;  // reused across pricing rounds
   if (options.cross_slot_warm && warm_cache && warm_cache->valid) {
-    warm = remap_warm_basis(*warm_cache, master, graph, slot, xv, zv,
+    warm = remap_warm_basis(*warm_cache, master, arcs, slot, xv, zv,
                             demand_row, cap_row, chg_row, options.carry_basis);
     result.warm_attempted = true;
   }
@@ -247,23 +330,48 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
       double dual_scale = 1.0;
       for (double y : duals) dual_scale = std::max(dual_scale, std::abs(y));
       for (int k = 0; k < num_files; ++k) {
+        if (file_view[k] == kUnreachable) continue;  // no path can exist
         const int deadline = files[k].max_transfer_slots;
         std::fill(dist.begin(), dist.end(), kNegInf);
         std::fill(pred.begin(), pred.end(), -1);
         dist[files[k].source] = 0.0;  // (source, layer 0)
-        for (int layer = 0; layer < deadline; ++layer) {
-          const auto [begin, end] = graph.layer_arc_range(layer);
-          for (int a = begin; a < end; ++a) {
-            const net::TimeArc& arc = graph.arcs()[a];
-            if (!usable(k, arc)) continue;
-            const double from = dist[layer * n + arc.from_node];
-            if (from == kNegInf) continue;
-            const double w =
-                arc.storage() ? 0.0 : duals[cap_row[a]] + duals[chg_row[a]];
-            double& to = dist[(layer + 1) * n + arc.to_node];
-            if (from + w > to) {
-              to = from + w;
-              pred[(layer + 1) * n + arc.to_node] = a;
+        if (file_view[k] == kFullSweep) {
+          for (int layer = 0; layer < deadline; ++layer) {
+            const auto [begin, end] = layer_ranges[layer];
+            for (int a = begin; a < end; ++a) {
+              const net::TimeArc& arc = arcs[a];
+              if (!usable(k, arc)) continue;
+              const double from = dist[layer * n + arc.from_node];
+              if (from == kNegInf) continue;
+              const double w =
+                  arc.storage() ? 0.0 : duals[cap_row[a]] + duals[chg_row[a]];
+              double& to = dist[(layer + 1) * n + arc.to_node];
+              if (from + w > to) {
+                to = from + w;
+                pred[(layer + 1) * n + arc.to_node] = a;
+              }
+            }
+          }
+        } else {
+          // Pruned subproblem: same relaxation order over the commodity's
+          // surviving arcs only (deadline and ablation checks are baked
+          // into the view).
+          const CommodityView& view = views[file_view[k]];
+          for (int layer = 0; layer < deadline; ++layer) {
+            const int begin = view.layer_begin[layer];
+            const int end = view.layer_begin[layer + 1];
+            for (int i = begin; i < end; ++i) {
+              const int a = view.arc_ids[i];
+              const net::TimeArc& arc = arcs[a];
+              const double from = dist[layer * n + arc.from_node];
+              if (from == kNegInf) continue;
+              const double w =
+                  arc.storage() ? 0.0 : duals[cap_row[a]] + duals[chg_row[a]];
+              double& to = dist[(layer + 1) * n + arc.to_node];
+              if (from + w > to) {
+                to = from + w;
+                pred[(layer + 1) * n + arc.to_node] = a;
+              }
             }
           }
         }
@@ -279,7 +387,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
         while (layer > 0) {
           const int a = pred[layer * n + node];
           col.arcs.push_back(a);
-          node = graph.arcs()[a].from_node;
+          node = arcs[a].from_node;
           --layer;
         }
         std::reverse(col.arcs.begin(), col.arcs.end());
@@ -350,7 +458,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   // cache untouched (it is only a hint); an artificial still basic makes
   // extract_warm_start return an empty basis, which we also skip.
   if (options.cross_slot_warm && warm_cache && !warm.basis.empty()) {
-    capture_warm_basis(warm, graph, slot, topology.num_links(), cap_row,
+    capture_warm_basis(warm, arcs, slot, topology.num_links(), cap_row,
                        chg_row, warm_cache);
   }
 
@@ -383,7 +491,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     FilePlan plan;
     plan.file_id = files[k].id;
     for (const auto& [a, volume] : per_file_arc[k]) {
-      const net::TimeArc& arc = graph.arcs()[a];
+      const net::TimeArc& arc = arcs[a];
       plan.transfers.push_back({slot + arc.layer, arc.from_node, arc.to_node,
                                 volume, arc.link_index});
     }

@@ -41,6 +41,10 @@
 #include "net/file_request.h"
 #include "net/topology.h"
 
+namespace postcard::net {
+class SparseTimeGraph;
+}  // namespace postcard::net
+
 namespace postcard::core {
 
 /// Cross-slot warm-start cache for the restricted master.
@@ -143,12 +147,22 @@ struct PathSolveResult {
 /// and checked between pricing rounds. On exhaustion the incumbent
 /// restricted-master optimum is returned with `truncated` set; exhaustion
 /// before any master solved leaves ok false with kDeadlineExceeded.
+///
+/// With a caller-owned `sparse_graph`, the time-expanded expansion is
+/// advanced incrementally inside the arena instead of rebuilt dense
+/// (net::SparseTimeGraph), and pricing runs over per-commodity
+/// reachability-pruned subproblems: only the arcs a file can traverse
+/// within its deadline window appear in its DP. The arena layout matches
+/// the dense build arc for arc, and pruning removes only arcs that cannot
+/// influence the DP cells the path reconstruction reads, so plans — and
+/// every downstream cost series — are bit-for-bit identical either way.
 PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
                                         const charging::ChargeState& charge,
                                         int slot,
                                         const std::vector<net::FileRequest>& files,
                                         const PathSolveOptions& options = {},
                                         MasterWarmCache* warm_cache = nullptr,
-                                        lp::SolveBudget* budget = nullptr);
+                                        lp::SolveBudget* budget = nullptr,
+                                        net::SparseTimeGraph* sparse_graph = nullptr);
 
 }  // namespace postcard::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/sparse_time_expanded.h"
+
 namespace postcard::core {
 
 TimeExpandedFormulation::TimeExpandedFormulation(
@@ -32,6 +34,12 @@ TimeExpandedFormulation::TimeExpandedFormulation(
   const int num_nodes = topology.num_datacenters();
 
   // ---- Variables.
+  // Opt-in reachability pruning: conservation forces M^k to zero on any
+  // arc whose tail s_k cannot reach in time or whose head cannot reach d_k
+  // in the remaining layers, so those variables can be dropped without
+  // changing the feasible flows (see FormulationOptions::prune_unreachable).
+  std::vector<int> hops;
+  if (options_.prune_unreachable) hops = net::all_pairs_hops(topology);
   flow_vars_.assign(num_files, std::vector<int>(num_arcs, -1));
   for (int k = 0; k < num_files; ++k) {
     const net::FileRequest& f = files_[k];
@@ -45,6 +53,13 @@ TimeExpandedFormulation::TimeExpandedFormulation(
       if (arc.storage() && !options_.allow_storage &&
           arc.from_node != f.source && arc.from_node != f.destination) {
         continue;
+      }
+      if (options_.prune_unreachable) {
+        if (hops[f.source * num_nodes + arc.from_node] > arc.layer) continue;
+        if (hops[arc.to_node * num_nodes + f.destination] >
+            deadline - arc.layer - 1) {
+          continue;
+        }
       }
       flow_vars_[k][a] = model_.add_variable(0.0, lp::kInfinity, 0.0);
     }

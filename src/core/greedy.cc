@@ -89,9 +89,11 @@ GreedyRoute greedy_route_file(const net::Topology& topology,
           dist[(layer + 1) * n + from] = base;
           pred[(layer + 1) * n + from] = {from, -1};
         }
-        for (int to = 0; to < n; ++to) {
-          const int link = topology.link_index(from, to);
-          if (link < 0) continue;
+        // Adjacency list in ascending-destination order: the identical
+        // relaxation order as the old `to = 0..n-1` dense-index scan, so
+        // cost ties break the same way, at O(out-degree) per node.
+        for (const int link : topology.out_links(from)) {
+          const int to = topology.link(link).to;
           const int s = t0 + layer;
           if (topology.link(link).capacity - scratch.committed(link, s) <=
               kEps) {

@@ -246,7 +246,8 @@ bool PostcardController::try_schedule(int slot,
     popts.carry_basis = options_.warm_start_carry_basis;
     const PathSolveResult r = solve_postcard_by_paths(
         topology_, charge_, slot, files, popts,
-        options_.warm_start ? &warm_cache_ : nullptr, budget);
+        options_.warm_start ? &warm_cache_ : nullptr, budget,
+        options_.use_sparse_graph ? &sparse_graph_ : nullptr);
     outcome.lp_iterations += r.lp_iterations;
     ++outcome.lp_solves;
     if (r.warm_attempted && r.warm_accepted) {

@@ -24,6 +24,7 @@
 #include "core/plan.h"
 #include "lp/solver.h"
 #include "net/file_request.h"
+#include "net/sparse_time_expanded.h"
 #include "net/topology.h"
 #include "sim/policy.h"
 
@@ -51,6 +52,12 @@ struct PostcardOptions {
   // possibly a different optimal basis on degenerate masters — off by
   // default because deterministic replays must match cold-start plans.
   bool warm_start_carry_basis = false;
+  // Maintain the time-expanded graph incrementally in a per-controller
+  // sparse arena (net::SparseTimeGraph) with per-commodity reachability
+  // pruning in pricing, instead of rebuilding the dense expansion on every
+  // solve. Plans are bit-for-bit identical either way (see DESIGN.md §12);
+  // the toggle exists for the equivalence tests and as a debugging aid.
+  bool use_sparse_graph = true;
 };
 
 class PostcardController : public sim::SchedulingPolicy {
@@ -158,6 +165,10 @@ class PostcardController : public sim::SchedulingPolicy {
   charging::ChargeState charge_;
   std::vector<FilePlan> last_plans_;
   MasterWarmCache warm_cache_;
+  // Persistent arena for the incremental time-expanded graph; advanced in
+  // place by each solve. Copied by snapshot_clone with everything else, so
+  // clones keep their own arena (plain vectors, nothing shared).
+  net::SparseTimeGraph sparse_graph_;
   sim::SolveControls controls_;
   sim::AuditControls audit_controls_;
 };

@@ -1,0 +1,86 @@
+#include "net/generators.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace postcard::net {
+
+namespace {
+
+/// Installs the directed pair a<->b, invoking the cost callback once per
+/// direction (a->b first) so generation order is deterministic.
+void add_pair(Topology& t, int a, int b, double capacity,
+              const LinkCostFn& cost_fn) {
+  t.set_link(a, b, capacity, cost_fn(a, b));
+  t.set_link(b, a, capacity, cost_fn(b, a));
+}
+
+}  // namespace
+
+Topology fat_tree(int k, double capacity, const LinkCostFn& cost_fn) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat_tree arity must be even and >= 2");
+  }
+  const int half = k / 2;
+  const int pod_size = k;             // k/2 edge + k/2 agg per pod
+  const int num_cores = half * half;
+  const int n = k * pod_size + num_cores;
+  Topology t(n);
+  const int core_base = k * pod_size;
+  for (int pod = 0; pod < k; ++pod) {
+    const int base = pod * pod_size;  // edges [base, base+half), aggs after
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        add_pair(t, base + e, base + half + a, capacity, cost_fn);
+      }
+    }
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        add_pair(t, base + half + a, core_base + a * half + c, capacity,
+                 cost_fn);
+      }
+    }
+  }
+  return t;
+}
+
+Topology l2_switch(int leaves, int spines, double capacity,
+                   const LinkCostFn& cost_fn) {
+  if (leaves < 1 || spines < 1) {
+    throw std::invalid_argument("l2_switch needs at least one leaf and spine");
+  }
+  Topology t(leaves + spines);
+  for (int l = 0; l < leaves; ++l) {
+    for (int s = 0; s < spines; ++s) {
+      add_pair(t, l, leaves + s, capacity, cost_fn);
+    }
+  }
+  return t;
+}
+
+Topology random_sparse(int n, double avg_degree, std::uint64_t seed,
+                       double capacity, const LinkCostFn& cost_fn) {
+  if (n < 2) throw std::invalid_argument("random_sparse needs >= 2 nodes");
+  Topology t(n);
+  for (int i = 0; i < n; ++i) {
+    const int next = (i + 1) % n;
+    t.set_link(i, next, capacity, cost_fn(i, next));
+  }
+  const double clamped =
+      std::min(static_cast<double>(n - 1), std::max(1.0, avg_degree));
+  const long target = static_cast<long>(clamped * n);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  // Rejection-sample chords; the attempt cap keeps dense requests (target
+  // near n*(n-1)) from spinning on the last few missing pairs.
+  long attempts = 8 * target + 64;
+  while (t.num_links() < target && attempts-- > 0) {
+    const int from = pick(rng);
+    const int to = pick(rng);
+    if (from == to || t.has_link(from, to)) continue;
+    t.set_link(from, to, capacity, cost_fn(from, to));
+  }
+  return t;
+}
+
+}  // namespace postcard::net

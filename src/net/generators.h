@@ -1,0 +1,55 @@
+// Topology generators beyond the paper's complete graph.
+//
+// The evaluation of Sec. VII uses a complete inter-datacenter overlay
+// (Topology::complete). Scaling the controller to 100+ datacenters needs
+// sparser shapes whose link count grows sub-quadratically:
+//
+//   * fat_tree(k)    — the standard k-ary Fat-Tree switching fabric with
+//                      every switch treated as a datacenter site: k pods of
+//                      k/2 edge + k/2 aggregation switches plus (k/2)^2
+//                      core switches, so k=10 yields 125 sites and ~1000
+//                      directed links (vs ~15500 for the complete graph).
+//   * l2_switch      — a two-tier leaf-spine LAN: every leaf connects to
+//                      every spine and traffic between leaves transits a
+//                      spine (no leaf-leaf or spine-spine links).
+//   * random_sparse  — a directed ring (guaranteeing strong connectivity)
+//                      plus seeded random chords up to a target average
+//                      out-degree; the shape used for soak-style sweeps.
+//
+// Every generator takes uniform link capacity and a per-link cost callback
+// so workloads can overlay the paper's U[cost_min, cost_max] unit costs.
+// All links are installed in a deterministic order (and the cost callback is
+// invoked once per directed link in that order), so a fixed seed reproduces
+// the identical topology.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/topology.h"
+
+namespace postcard::net {
+
+/// Per-link unit cost: cost_fn(from, to) -> dollars per GB.
+using LinkCostFn = std::function<double(int, int)>;
+
+/// k-ary Fat-Tree (k even, >= 2): k pods x (k/2 edge + k/2 agg) + (k/2)^2
+/// core switches = k^2 + (k/2)^2 sites. Edge i of a pod links to every agg
+/// of the same pod; agg j of a pod links to core switches j*(k/2) ..
+/// j*(k/2)+k/2-1. All links are installed in both directions. Node ids:
+/// pods first (edge then agg within each pod), cores last.
+Topology fat_tree(int k, double capacity, const LinkCostFn& cost_fn);
+
+/// Two-tier leaf-spine ("l2 switch") fabric: `leaves` + `spines` sites,
+/// leaf l <-> spine s for every pair, no other links. Leaves are nodes
+/// [0, leaves), spines [leaves, leaves + spines).
+Topology l2_switch(int leaves, int spines, double capacity,
+                   const LinkCostFn& cost_fn);
+
+/// Strongly connected sparse digraph: the directed ring 0->1->...->0 plus
+/// seeded random chords until the average out-degree reaches `avg_degree`
+/// (clamped to [1, n-1]). Deterministic for a fixed (n, avg_degree, seed).
+Topology random_sparse(int n, double avg_degree, std::uint64_t seed,
+                       double capacity, const LinkCostFn& cost_fn);
+
+}  // namespace postcard::net

@@ -1,5 +1,6 @@
 #include "net/topology.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace postcard::net {
@@ -9,6 +10,7 @@ Topology::Topology(int num_datacenters) : n_(num_datacenters) {
     throw std::invalid_argument("topology needs at least one datacenter");
   }
   index_.assign(static_cast<std::size_t>(n_) * n_, -1);
+  out_.resize(static_cast<std::size_t>(n_));
 }
 
 Topology Topology::complete(int num_datacenters, double capacity,
@@ -36,9 +38,15 @@ void Topology::set_link(int from, int to, double capacity, double unit_cost) {
     links_[existing].unit_cost = unit_cost;
     return;
   }
-  index_[static_cast<std::size_t>(from) * n_ + to] =
-      static_cast<int>(links_.size());
+  const int idx = static_cast<int>(links_.size());
+  index_[static_cast<std::size_t>(from) * n_ + to] = idx;
   links_.push_back({from, to, capacity, unit_cost});
+  // Keep the adjacency sorted by destination (see out_links()).
+  std::vector<int>& out = out_[static_cast<std::size_t>(from)];
+  const auto pos = std::upper_bound(
+      out.begin(), out.end(), to,
+      [this](int t, int link) { return t < links_[link].to; });
+  out.insert(pos, idx);
 }
 
 void Topology::set_capacity(int link_index, double capacity) {

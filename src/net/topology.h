@@ -51,10 +51,21 @@ class Topology {
   double capacity(int from, int to) const;
   double unit_cost(int from, int to) const;
 
+  /// Indices of the links leaving `from`, ordered by ascending destination.
+  /// The ordering matters: shortest-path relaxations that used to scan
+  /// `to = 0..n-1` against the dense index iterate this list instead and
+  /// must visit candidates in the identical order to break cost ties the
+  /// same way. On sparse topologies (Fat-Tree, leaf-spine) this turns the
+  /// O(n) per-node scan into O(out-degree).
+  const std::vector<int>& out_links(int from) const {
+    return out_[static_cast<std::size_t>(from)];
+  }
+
  private:
   int n_;
   std::vector<Link> links_;
   std::vector<int> index_;  // n*n dense map into links_
+  std::vector<std::vector<int>> out_;  // per DC, link indices by ascending to
 };
 
 }  // namespace postcard::net

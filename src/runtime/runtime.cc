@@ -38,6 +38,9 @@ ControllerRuntime::ControllerRuntime(net::Topology topology,
   if (options_.parallel_groups < 1) {
     throw std::invalid_argument("parallel_groups must be at least 1");
   }
+  if (options_.min_group_files < 1) {
+    throw std::invalid_argument("min_group_files must be at least 1");
+  }
   base_capacity_.reserve(static_cast<std::size_t>(live_topology_.num_links()));
   for (const net::Link& l : live_topology_.links()) {
     base_capacity_.push_back(l.capacity);
@@ -316,6 +319,10 @@ void ControllerRuntime::solve_slot(int slot,
     bp->replan_batch.clear();
     w.batch.insert(w.batch.end(), bp->carry_batch.begin(),
                    bp->carry_batch.end());
+    bp->prior_carry_ids.clear();
+    for (const net::FileRequest& f : bp->carry_batch) {
+      bp->prior_carry_ids.insert(f.id);
+    }
     bp->carry_batch.clear();
     // Arm the slot watchdog BEFORE any snapshot clone is taken below:
     // clones copy the controls, so split-batch groups and conflict
@@ -337,8 +344,13 @@ void ControllerRuntime::solve_slot(int slot,
     w.groups = 1;
     if (bp->postcard != nullptr && options_.parallel_groups > 1 &&
         w.batch.size() >= 2) {
-      w.groups = std::min<int>(options_.parallel_groups,
-                               static_cast<int>(w.batch.size()));
+      // Cap the split so every stripe keeps at least min_group_files files
+      // (clone overhead only amortizes over a meaty stripe).
+      const int by_floor = static_cast<int>(
+          w.batch.size() / static_cast<std::size_t>(options_.min_group_files));
+      w.groups = std::max(
+          1, std::min({options_.parallel_groups,
+                       static_cast<int>(w.batch.size()), by_floor}));
     }
     w.first = num_tasks;
     num_tasks += static_cast<std::size_t>(w.groups);
@@ -556,8 +568,9 @@ void ControllerRuntime::record_outcome(
   // touched by the single writer). A deferred file was neither accepted nor
   // rejected; it re-enters the next slot's batch under the same id with one
   // slot less deadline slack — or fails loudly when no slack remains.
-  long carried = 0, carry_failed = 0;
+  long carried = 0, carry_failed = 0, entered = 0;
   double carried_volume = 0.0, carry_failed_volume = 0.0;
+  double entered_volume = 0.0;
   for (int id : outcome.deferred_ids) {
     const auto it = by_id.find(id);
     if (it == by_id.end()) continue;
@@ -573,6 +586,13 @@ void ControllerRuntime::record_outcome(
     b.carry_batch.push_back(carry);
     ++carried;
     carried_volume += f.size;
+    // First hop vs. repeat hop: carried_volume above grows with the chain
+    // length (one entry per slot the file sat out), the entered pair below
+    // counts each file once however long its chain runs.
+    if (b.prior_carry_ids.find(id) == b.prior_carry_ids.end()) {
+      ++entered;
+      entered_volume += f.size;
+    }
   }
   base::MutexLock lock(stats_mu_);
   b.stats.lp_iterations += outcome.lp_iterations;
@@ -600,6 +620,8 @@ void ControllerRuntime::record_outcome(
   }
   b.stats.carryover_files += carried;
   b.stats.carryover_volume += carried_volume;
+  b.stats.carryover_entered_files += entered;
+  b.stats.carryover_entered_volume += entered_volume;
   b.stats.failed_files += carry_failed;
   b.stats.failed_volume += carry_failed_volume;
   for (int id : outcome.accepted_ids) {

@@ -39,6 +39,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/mutex.h"
@@ -63,6 +64,12 @@ struct RuntimeOptions {
   /// solved concurrently against a charge-state snapshot; 1 = the exact
   /// joint solve of the offline controller.
   int parallel_groups = 1;
+  /// Split-batch sharding floor: never split below this many files per
+  /// group. Each group pays a snapshot clone (charge ledger + sparse graph
+  /// arena copy) per slot; at 100+ DC scale that overhead only amortizes
+  /// over a meaty stripe. 1 (the default) reproduces the legacy "always
+  /// split when parallel_groups allows" behavior exactly.
+  int min_group_files = 1;
   /// Replan committed in-flight work invalidated by LinkDown events.
   bool replan_on_link_down = true;
   /// Slack allowed when the writer validates group plans against residual
@@ -212,6 +219,12 @@ class ControllerRuntime {
     // slack. Per-backend (unlike the shared event queue) because each
     // backend defers independently.
     std::vector<net::FileRequest> carry_batch;
+    // Ids carried INTO the current slot's batch (rebuilt by solve_slot from
+    // carry_batch before consuming it): record_outcome uses this to tell a
+    // repeat carry hop from a file's first entry into the carry state, so
+    // chain length never re-counts a file. Driver-thread only; derived
+    // state, reconstructed each slot (not snapshotted).
+    std::unordered_set<int> prior_carry_ids;
     // One-shot chaos overrides armed by SolverStall / SolverFault events;
     // consumed (reset) by the next solve_slot.
     long injected_stall = -1;  // pivot budget, -1 = none

@@ -89,6 +89,14 @@ struct BackendStats {
   // deferred with no slack left land in failed_files/failed_volume.
   long carryover_files = 0;
   double carryover_volume = 0.0;
+  // Distinct files that entered a carry chain, counted on the FIRST
+  // deferral only. carryover_files/volume count hops — a 3-slot chain is
+  // three hops but one file — so the pair above inflates with chain
+  // length while this pair matches the files the accounting identity
+  // sees. (carryover_files - carryover_entered_files) is the number of
+  // repeat hops.
+  long carryover_entered_files = 0;
+  double carryover_entered_volume = 0.0;
   // Slots where any rung below full LP fired, and the cost-per-interval
   // increase accumulated across exactly those slots (ablation handle:
   // what the degradation cost relative to the charge level it started at).

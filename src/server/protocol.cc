@@ -124,6 +124,8 @@ void encode_backend_stats(ByteWriter& w, const runtime::BackendStats& s) {
   w.i64(s.rung_greedy);
   w.i64(s.carryover_files);
   w.f64(s.carryover_volume);
+  w.i64(s.carryover_entered_files);
+  w.f64(s.carryover_entered_volume);
   w.i64(s.degraded_slots);
   w.f64(s.degraded_cost_delta);
   w.i64(s.solver_failures);
@@ -164,6 +166,8 @@ runtime::BackendStats decode_backend_stats(ByteReader& r) {
   s.rung_greedy = r.i64();
   s.carryover_files = r.i64();
   s.carryover_volume = r.f64();
+  s.carryover_entered_files = r.i64();
+  s.carryover_entered_volume = r.f64();
   s.degraded_slots = r.i64();
   s.degraded_cost_delta = r.f64();
   s.solver_failures = r.i64();

@@ -15,10 +15,8 @@ std::uint64_t mix(std::uint64_t z) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
-}  // namespace
 
-UniformWorkload::UniformWorkload(const WorkloadParams& params)
-    : params_(params), topology_(std::max(1, params.num_datacenters)) {
+void validate_params(const WorkloadParams& params) {
   if (params.num_datacenters < 2) {
     throw std::invalid_argument("workload needs at least two datacenters");
   }
@@ -32,12 +30,29 @@ UniformWorkload::UniformWorkload(const WorkloadParams& params)
   if (params.size_min <= 0.0 || params.size_max < params.size_min) {
     throw std::invalid_argument("bad size range");
   }
+}
+}  // namespace
+
+UniformWorkload::UniformWorkload(const WorkloadParams& params)
+    : params_(params), topology_(std::max(1, params.num_datacenters)) {
+  validate_params(params);
   std::mt19937_64 rng(mix(params.seed));
   std::uniform_real_distribution<double> cost(params.cost_min, params.cost_max);
   topology_ = net::Topology::complete(
       params.num_datacenters, params.link_capacity,
       [&](int, int) { return cost(rng); });
 }
+
+UniformWorkload::UniformWorkload(net::Topology topology,
+                                 const WorkloadParams& params)
+    : params_(params), topology_(std::move(topology)) {
+  params_.num_datacenters = topology_.num_datacenters();
+  validate_params(params_);
+}
+
+TopologyWorkload::TopologyWorkload(net::Topology topology,
+                                   const WorkloadParams& params)
+    : UniformWorkload(std::move(topology), params) {}
 
 int UniformWorkload::batch_size(int /*slot*/, std::uint64_t rng_draw) const {
   const int span = params_.files_per_slot_max - params_.files_per_slot_min + 1;

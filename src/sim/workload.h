@@ -58,6 +58,11 @@ class UniformWorkload : public WorkloadGenerator {
   const WorkloadParams& params() const { return params_; }
 
  protected:
+  /// Batch machinery over an externally built topology: overrides
+  /// params.num_datacenters with the topology's size and skips the
+  /// complete-graph construction (link_capacity / cost_* are ignored).
+  UniformWorkload(net::Topology topology, const WorkloadParams& params);
+
   /// Number of files in `slot`'s batch; hook for intensity modulation.
   virtual int batch_size(int slot, std::uint64_t rng_draw) const;
   /// Source datacenter pick; hook for skew. `u` is uniform in [0,1).
@@ -65,6 +70,18 @@ class UniformWorkload : public WorkloadGenerator {
 
   WorkloadParams params_;
   net::Topology topology_;
+};
+
+/// Uniform batches over a supplied topology (a Fat-Tree or leaf-spine from
+/// net/generators.h, say) instead of the complete graph the paper evaluates
+/// on. The topology carries its own capacities and costs, so the params'
+/// link_capacity / cost_min / cost_max are ignored and num_datacenters is
+/// taken from the topology. Endpoint pairs are still uniform over all
+/// sites; deadline_min must cover the topology's diameter or most files
+/// are structurally unroutable.
+class TopologyWorkload : public UniformWorkload {
+ public:
+  TopologyWorkload(net::Topology topology, const WorkloadParams& params);
 };
 
 /// Sinusoidal day curve: batch sizes scale between `trough_factor` and 1

@@ -212,5 +212,63 @@ TEST(RuntimeDegradation, FlowBaselineDefersUnderFault) {
   expect_fully_accounted(stats, w);
 }
 
+TEST(RuntimeDegradation, ThreeSlotCarryChainStaysFullyAccounted) {
+  // Forced multi-slot carry-over chain: deferral faults at three
+  // consecutive slots push the same files through carry_batch three times
+  // (release_slot + 1, max_transfer_slots - 1 each hop). Every admitted
+  // file must still land in exactly one terminal counter, and a file's
+  // volume must not be re-counted per hop.
+  sim::WorkloadParams p = fig4_shaped(31);
+  p.deadline_min = 4;  // survives three deferrals, accepted on the fourth
+  p.deadline_max = 5;
+  const sim::UniformWorkload w(p);
+
+  ControllerRuntime runtime{net::Topology(w.topology()), RuntimeOptions{}};
+  runtime.add_postcard_backend();
+  for (int slot : {2, 3, 4}) {
+    runtime.fault_solver(slot, /*disable_rungs=*/2);
+  }
+  const RuntimeStats stats = runtime.replay(w);
+
+  EXPECT_EQ(stats.solver_faults, 3);
+  const BackendStats& b = stats.backends[0];
+  // The slot-2 batch was deferred three times: at least one file made
+  // three carry hops (deadline_min = 4 leaves slack for all three).
+  EXPECT_GE(b.carryover_files, 3);
+  EXPECT_GE(b.degraded_slots, 3);
+  expect_fully_accounted(stats, w);
+  // Chain-length accounting: carryover_files counts hops; the number of
+  // distinct files that ever entered the carry state is tracked
+  // separately and can never exceed the hop count.
+  EXPECT_GT(b.carryover_entered_files, 0);
+  EXPECT_LE(b.carryover_entered_files, b.carryover_files);
+  EXPECT_LE(b.carryover_entered_volume, b.carryover_volume + 1e-9);
+}
+
+TEST(RuntimeDegradation, CarryChainAccountedUnderSplitBatchWorkers) {
+  // Same chain with worker threads + split-batch groups: carried files are
+  // striped across snapshot-clone groups and may bounce through the
+  // single-writer conflict re-solve; the identity must survive all of it.
+  sim::WorkloadParams p = fig4_shaped(32);
+  p.deadline_min = 4;
+  p.deadline_max = 5;
+  const sim::UniformWorkload w(p);
+
+  RuntimeOptions options;
+  options.worker_threads = 2;
+  options.parallel_groups = 2;
+  ControllerRuntime runtime{net::Topology(w.topology()), options};
+  runtime.add_postcard_backend();
+  for (int slot : {2, 3, 4}) {
+    runtime.fault_solver(slot, /*disable_rungs=*/2);
+  }
+  const RuntimeStats stats = runtime.replay(w);
+
+  const BackendStats& b = stats.backends[0];
+  EXPECT_GE(b.carryover_files, 3);
+  expect_fully_accounted(stats, w);
+  EXPECT_LE(b.carryover_entered_files, b.carryover_files);
+}
+
 }  // namespace
 }  // namespace postcard::runtime

@@ -207,6 +207,35 @@ TEST_F(RobustnessTest, LyingBatchCountRejected) {
   expect_server_alive();
 }
 
+TEST_F(RobustnessTest, CleanCloseAtFrameBoundaryIsNotAProtocolError) {
+  // The read_exact contract: a peer that finishes its last frame and
+  // closes is a CLEAN departure (EOF at byte 0 of the next header), not a
+  // truncation. It must never inflate protocol_errors — that counter is
+  // the alarm the truncation cases below rely on.
+  const long before = server_.stats().server.protocol_errors;
+  RawConn conn(server_.port());
+  conn.send_bytes(encode_frame(MessageType::kQueryStats, {}));
+  Frame reply;
+  ASSERT_TRUE(read_frame(conn.fd(), &reply));
+  EXPECT_EQ(reply.type, MessageType::kStatsReply);
+  conn.half_close();  // EOF exactly on the frame boundary
+  conn.drain();       // wait for the server to close its side too
+  expect_server_alive();
+  EXPECT_EQ(server_.stats().server.protocol_errors, before);
+}
+
+TEST_F(RobustnessTest, TruncatedHeaderCountsAsProtocolError) {
+  // Three of the eight header bytes then EOF: mid-frame truncation, the
+  // loud sibling of the clean close above.
+  const long before = server_.stats().server.protocol_errors;
+  RawConn conn(server_.port());
+  conn.send_bytes({0x01, 0x02, 0x03});
+  conn.half_close();
+  conn.drain();
+  expect_server_alive();
+  EXPECT_GE(server_.stats().server.protocol_errors, before + 1);
+}
+
 TEST_F(RobustnessTest, ByteByByteFrameStillParses) {
   // Slow-loris pacing is not a protocol violation: a frame dribbled one
   // byte at a time must be answered normally.
