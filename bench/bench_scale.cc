@@ -1,5 +1,6 @@
 // Scale sweep: datacenter count x arrivals per slot (100+ DCs at 1k
-// arrivals/slot), on the topology generators of src/net/generators.h.
+// arrivals/slot), across every topology generator of src/net/generators.h
+// — complete graph, Fat-Trees, leaf-spine (l2_switch), and random_sparse.
 //
 // Each configuration replays a seeded workload through the full runtime —
 // sparse incremental time-expanded graph, split-batch sharding floor, the
@@ -40,21 +41,33 @@ double link_cost(int a, int b) {
   return 1.0 + ((a * 131 + b * 17) % 90) / 10.0;
 }
 
+enum class Topo { kComplete, kFatTree, kLeafSpine, kRandomSparse };
+
 struct ScaleConfig {
   const char* name;  // metric key stem
-  int fat_tree_k;    // 0 = 20-DC complete graph (the paper's shape)
+  Topo topo;
+  int param_a;       // fat_tree k / leaf count / node count
+  int param_b;       // spine count / average out-degree
+  std::uint64_t seed;
   int arrivals;      // files per slot
-  int deadline_min;  // >= diameter on the Fat-Trees (4), else most files
-  int deadline_max;  //   are structurally unroutable
+  int deadline_min;  // >= topology diameter, else most files are
+  int deadline_max;  //   structurally unroutable
   int num_slots;
 };
 
-// DC count rises 20 -> 45 -> 80 -> 125 while arrivals rise 50 -> 1000.
+// DC count rises 20 -> 45 -> 48 -> 80 -> 100 -> 125 while arrivals rise
+// 50 -> 1000, across every generator family: the paper's complete overlay,
+// Fat-Trees, a leaf-spine fabric (diameter 2), and a seeded sparse digraph
+// (ring + chords; the longest deadlines in the sweep). Seeds for the
+// original four configs are unchanged so their metrics stay comparable
+// across commits.
 constexpr ScaleConfig kConfigs[] = {
-    {"complete20_a50", 0, 50, 1, 3, 4},
-    {"fat6_a200", 6, 200, 4, 6, 3},
-    {"fat8_a500", 8, 500, 4, 6, 3},
-    {"fat10_a1000", 10, 1000, 4, 6, 3},
+    {"complete20_a50", Topo::kComplete, 20, 0, 100, 50, 1, 3, 4},
+    {"fat6_a200", Topo::kFatTree, 6, 0, 106, 200, 4, 6, 3},
+    {"leafspine48_a400", Topo::kLeafSpine, 32, 16, 148, 400, 2, 4, 3},
+    {"fat8_a500", Topo::kFatTree, 8, 0, 108, 500, 4, 6, 3},
+    {"sparse100_a600", Topo::kRandomSparse, 100, 5, 200, 600, 5, 8, 3},
+    {"fat10_a1000", Topo::kFatTree, 10, 0, 110, 1000, 4, 6, 3},
 };
 constexpr int kNumConfigs = static_cast<int>(std::size(kConfigs));
 
@@ -65,7 +78,7 @@ constexpr long kPivotBudget = 20000;
 
 std::unique_ptr<sim::WorkloadGenerator> make_workload(const ScaleConfig& c) {
   sim::WorkloadParams p;
-  p.num_datacenters = 20;
+  p.num_datacenters = c.param_a;
   p.link_capacity = 100.0;
   p.files_per_slot_min = c.arrivals;
   p.files_per_slot_max = c.arrivals;
@@ -74,12 +87,24 @@ std::unique_ptr<sim::WorkloadGenerator> make_workload(const ScaleConfig& c) {
   p.deadline_min = c.deadline_min;
   p.deadline_max = c.deadline_max;
   p.num_slots = c.num_slots;
-  p.seed = 100 + static_cast<std::uint64_t>(c.fat_tree_k);
-  if (c.fat_tree_k == 0) {
-    return std::make_unique<sim::UniformWorkload>(p);
+  p.seed = c.seed;
+  switch (c.topo) {
+    case Topo::kComplete:
+      return std::make_unique<sim::UniformWorkload>(p);
+    case Topo::kFatTree:
+      return std::make_unique<sim::TopologyWorkload>(
+          net::fat_tree(c.param_a, p.link_capacity, link_cost), p);
+    case Topo::kLeafSpine:
+      return std::make_unique<sim::TopologyWorkload>(
+          net::l2_switch(c.param_a, c.param_b, p.link_capacity, link_cost),
+          p);
+    case Topo::kRandomSparse:
+      return std::make_unique<sim::TopologyWorkload>(
+          net::random_sparse(c.param_a, c.param_b, c.seed, p.link_capacity,
+                             link_cost),
+          p);
   }
-  return std::make_unique<sim::TopologyWorkload>(
-      net::fat_tree(c.fat_tree_k, p.link_capacity, link_cost), p);
+  return nullptr;
 }
 
 // Smallest DC count whose run degraded, latched across the sweep (the

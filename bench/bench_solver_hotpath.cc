@@ -1,0 +1,253 @@
+// Solver hot-path split: where does a slot solve spend its time, and how
+// much do the hot-path optimizations buy?
+//
+// Three benchmark families over the same Fig. 4-shaped workload (6 DCs,
+// generous capacity, 8-20 files/slot, deadlines 1-3 — the
+// bench_runtime_throughput replay shape, seed 17):
+//
+//   * HotpathSlotSolve/opt:{0,1} — PostcardController::schedule per slot.
+//     opt:0 is the pre-optimization configuration (no in-place master
+//     resumes, no dual warm starts, serial pricing); opt:1 resumes the
+//     master on the incumbent factorization, seeds each slot from the
+//     previous slot's duals and shards pricing across 4 worker threads.
+//     The mean/p99 slot solve, the pricing-vs-master wall split and the
+//     warm/dual-warm accept rates land in BENCH_solver_hotpath.json.
+//   * HotpathColumnGeneration — solve_postcard_by_paths directly (no
+//     controller admission around it), for the columns/sec rate and the
+//     resumed-solve share of the pure column-generation loop.
+//   * HotpathDCRoute — the DCRoute single-path rung as a speed yardstick:
+//     one DP + one reservation sweep per file, no LP at all, with the cost
+//     premium over the LP-optimal controller reported alongside.
+//
+// Single-core note: on a 1-core host the 4 pricing threads only add pool
+// overhead — the opt:1 gains there come from the serial wins (factorization
+// reuse above all). Thread scaling needs a multi-core reading.
+//
+// Build & run:  cmake --build build && ./build/bench/bench_solver_hotpath
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/worker_pool.h"
+#include "bench_json.h"
+#include "core/column_generation.h"
+#include "core/dcroute.h"
+#include "core/postcard.h"
+#include "sim/workload.h"
+
+namespace postcard::bench {
+namespace {
+
+sim::WorkloadParams fig4_shape(std::uint64_t seed) {
+  sim::WorkloadParams p;  // the bench_runtime_throughput replay shape
+  p.num_datacenters = 6;
+  p.link_capacity = 400.0;
+  p.files_per_slot_min = 8;
+  p.files_per_slot_max = 20;
+  p.size_min = 10.0;
+  p.size_max = 100.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = 10;
+  p.seed = seed;
+  return p;
+}
+
+/// Drives one controller over every workload slot; returns the per-slot
+/// schedule() wall times and folds the outcome counters into `total`.
+std::vector<double> run_slots(core::PostcardController& controller,
+                              const sim::UniformWorkload& workload,
+                              sim::ScheduleOutcome& total) {
+  std::vector<double> slot_seconds;
+  slot_seconds.reserve(static_cast<std::size_t>(workload.num_slots()));
+  for (int slot = 0; slot < workload.num_slots(); ++slot) {
+    const auto batch = workload.batch(slot);
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::ScheduleOutcome o = controller.schedule(slot, batch);
+    slot_seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    total.lp_iterations += o.lp_iterations;
+    total.lp_solves += o.lp_solves;
+    total.warm_accepts += o.warm_accepts;
+    total.cold_starts += o.cold_starts;
+    total.pricing_seconds += o.pricing_seconds;
+    total.master_seconds += o.master_seconds;
+    total.resumed_solves += o.resumed_solves;
+    total.dual_warm_attempts += o.dual_warm_attempts;
+    total.dual_seed_columns += o.dual_seed_columns;
+  }
+  return slot_seconds;
+}
+
+double mean_of(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+double p99_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t rank =
+      std::min(v.size() - 1,
+               static_cast<std::size_t>(0.99 * static_cast<double>(v.size())));
+  return v[rank];
+}
+
+/// Whole-controller slot solves, baseline vs optimized hot path.
+void HotpathSlotSolve(benchmark::State& state) {
+  const bool opt = state.range(0) != 0;
+  const sim::UniformWorkload workload(fig4_shape(17));
+  double mean_ms = 0.0, p99_ms = 0.0, cost = 0.0;
+  sim::ScheduleOutcome total;
+
+  // The JSON metrics keep the best (minimum-mean) iteration as one
+  // consistent snapshot: the replay is deterministic, so iteration-to-
+  // iteration spread is pure host noise and the minimum is the stable
+  // steady-state estimate (this box swings tens of percent between runs).
+  double best_mean_ms = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    sim::ScheduleOutcome iter_total;
+    core::PostcardOptions popts;
+    popts.cg_reuse_factorization = opt;
+    popts.cg_dual_warm = opt;
+    popts.pricing_threads = opt ? 4 : 0;
+    core::PostcardController controller{net::Topology(workload.topology()),
+                                        popts};
+    const std::vector<double> seconds =
+        run_slots(controller, workload, iter_total);
+    const double iter_mean_ms = 1e3 * mean_of(seconds);
+    if (iter_mean_ms < best_mean_ms) {
+      best_mean_ms = iter_mean_ms;
+      mean_ms = iter_mean_ms;
+      p99_ms = 1e3 * p99_of(seconds);
+      cost = controller.cost_per_interval();
+      total = iter_total;
+    }
+  }
+  state.counters["mean_slot_ms"] = mean_ms;
+  state.counters["p99_slot_ms"] = p99_ms;
+  state.counters["resumed"] = static_cast<double>(total.resumed_solves);
+
+  const std::string key = opt ? "hotpath_opt" : "hotpath_baseline";
+  record_json_metric(key + "_mean_slot_solve_ms", mean_ms);
+  record_json_metric(key + "_p99_slot_solve_ms", p99_ms);
+  record_json_metric(key + "_cost_per_interval", cost);
+  const double lp_wall = total.pricing_seconds + total.master_seconds;
+  record_json_metric(key + "_pricing_seconds", total.pricing_seconds);
+  record_json_metric(key + "_master_seconds", total.master_seconds);
+  record_json_metric(
+      key + "_pricing_share",
+      lp_wall > 0.0 ? total.pricing_seconds / lp_wall : 0.0);
+  if (opt) {
+    const double starts = total.warm_accepts + total.cold_starts;
+    record_json_metric("hotpath_warm_accept_rate",
+                       starts > 0 ? total.warm_accepts / starts : 0.0);
+    // Slot 0 has no previous duals, so attempts top out at slots - 1.
+    record_json_metric(
+        "hotpath_dual_warm_attempt_rate",
+        total.lp_solves > 1
+            ? static_cast<double>(total.dual_warm_attempts) /
+                  static_cast<double>(total.lp_solves - 1)
+            : 0.0);
+    record_json_metric("hotpath_dual_seed_columns",
+                       static_cast<double>(total.dual_seed_columns));
+    record_json_metric("hotpath_resumed_solves",
+                       static_cast<double>(total.resumed_solves));
+  }
+}
+
+/// The pure column-generation loop, for columns/sec and the resume share of
+/// all master solves (rounds). Commits each slot's plans so later slots
+/// price against the accumulated charge state, like the controller does.
+void HotpathColumnGeneration(benchmark::State& state) {
+  const sim::UniformWorkload workload(fig4_shape(17));
+  base::WorkerPool pool(4);
+  double columns_per_sec = 0.0, resumed_share = 0.0;
+
+  for (auto _ : state) {
+    charging::ChargeState charge(workload.topology().num_links());
+    core::MasterWarmCache cache;
+    core::PathSolveOptions popts;
+    popts.dual_warm = true;
+    popts.pricing_pool = &pool;
+    long columns = 0, rounds = 0, resumed = 0;
+    double lp_seconds = 0.0;
+    for (int slot = 0; slot < workload.num_slots(); ++slot) {
+      const core::PathSolveResult r = core::solve_postcard_by_paths(
+          workload.topology(), charge, slot, workload.batch(slot), popts,
+          &cache);
+      columns += r.path_columns;
+      rounds += r.rounds;
+      resumed += r.resumed_solves;
+      lp_seconds += r.pricing_seconds + r.master_seconds;
+      for (const core::FilePlan& plan : r.plans) {
+        for (const core::Transfer& t : plan.transfers) {
+          if (!t.storage()) charge.commit(t.link, t.slot, t.volume);
+        }
+      }
+    }
+    // Best iteration again (max rate == min wall): see HotpathSlotSolve.
+    columns_per_sec = std::max(
+        columns_per_sec,
+        lp_seconds > 0.0 ? static_cast<double>(columns) / lp_seconds : 0.0);
+    resumed_share = rounds > 0 ? static_cast<double>(resumed) /
+                                     static_cast<double>(rounds)
+                               : 0.0;
+  }
+  state.counters["columns_per_sec"] = columns_per_sec;
+  state.counters["resumed_share"] = resumed_share;
+  record_json_metric("hotpath_columns_per_sec", columns_per_sec);
+  record_json_metric("hotpath_cg_resumed_share", resumed_share);
+}
+
+/// DCRoute as the speed yardstick: no LP anywhere, one DP + one reservation
+/// sweep per file. The cost premium over the LP controller quantifies what
+/// the ladder gives up when this rung fires.
+void HotpathDCRoute(benchmark::State& state) {
+  const sim::UniformWorkload workload(fig4_shape(17));
+  double mean_ms = 0.0, cost = 0.0;
+  double rejected = 0.0;
+
+  double best_mean_ms = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    core::DCRouteScheduler scheduler{net::Topology(workload.topology())};
+    std::vector<double> seconds;
+    double iter_rejected = 0.0;
+    for (int slot = 0; slot < workload.num_slots(); ++slot) {
+      const auto batch = workload.batch(slot);
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::ScheduleOutcome o = scheduler.schedule(slot, batch);
+      seconds.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+      iter_rejected += static_cast<double>(o.rejected_ids.size());
+    }
+    const double iter_mean_ms = 1e3 * mean_of(seconds);
+    if (iter_mean_ms < best_mean_ms) {  // min across iterations, as above
+      best_mean_ms = iter_mean_ms;
+      mean_ms = iter_mean_ms;
+      cost = scheduler.cost_per_interval();
+      rejected = iter_rejected;
+    }
+  }
+  state.counters["mean_slot_ms"] = mean_ms;
+  state.counters["rejected"] = rejected;
+  record_json_metric("hotpath_dcroute_mean_slot_solve_ms", mean_ms);
+  record_json_metric("hotpath_dcroute_cost_per_interval", cost);
+  record_json_metric("hotpath_dcroute_rejected_files", rejected);
+}
+
+BENCHMARK(HotpathSlotSolve)->Arg(0)->Arg(1)->ArgName("opt")->UseRealTime();
+BENCHMARK(HotpathColumnGeneration)->UseRealTime();
+BENCHMARK(HotpathDCRoute)->UseRealTime();
+
+}  // namespace
+}  // namespace postcard::bench
+
+POSTCARD_BENCHMARK_MAIN_WITH_JSON("solver_hotpath");

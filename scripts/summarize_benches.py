@@ -24,12 +24,16 @@ Thresholds by metric-name suffix/kind:
   * latency (ends in _ms or _seconds): fail if new > 1.5x old AND the
     absolute growth exceeds a noise floor (2 ms / 0.002 s) — single-core CI
     timing jitter on sub-millisecond readings must not fail the build.
-  * warm_accept_rate: fail if it drops by more than 0.15 absolute.
+  * throughput (ends in _per_sec): the mirror image — fail if new < old /
+    1.5; growth is always fine.
+  * warm_accept_rate (suffix match, so hotpath_warm_accept_rate gates too):
+    fail if it drops by more than 0.15 absolute.
   * cost (contains cost_mean / cost_per_interval / cost_delta /
     cost_vs_clean): fail if new > 1.10x old + 1e-9 (deterministic solves;
     any real growth is a behavior change).
   * counts (degraded_slots / audit_violations / protocol_errors /
-    rejected_share): fail if new > old + 1 (rates: + 0.02).
+    rejected_files; rejected_share as a rate): fail if new > old + 1
+    (rates: + 0.02).
   * everything else: informational only.
 """
 import json
@@ -99,7 +103,8 @@ COUNT_SLACK = 1
 RATE_SLACK = 0.02
 
 COST_KEYS = ("cost_mean", "cost_per_interval", "cost_delta", "cost_vs_clean")
-COUNT_KEYS = ("degraded_slots", "audit_violations", "protocol_errors")
+COUNT_KEYS = ("degraded_slots", "audit_violations", "protocol_errors",
+              "rejected_files")
 RATE_KEYS = ("rejected_share",)
 
 
@@ -110,7 +115,14 @@ def check_metric(key, old, new):
         if new > old * LATENCY_RATIO and new - old > floor:
             return f"latency {old:.3f} -> {new:.3f} (> {LATENCY_RATIO}x)"
         return None
-    if key == "warm_accept_rate":
+    if key.endswith("_per_sec"):
+        # Throughput is latency upside down: shrinking by more than the
+        # latency ratio is the same class of regression as latency growing
+        # by it. Growth never fails.
+        if new * LATENCY_RATIO < old:
+            return f"throughput {old:.6g} -> {new:.6g} (< 1/{LATENCY_RATIO}x)"
+        return None
+    if key.endswith("warm_accept_rate"):
         if new < old - WARM_RATE_DROP:
             return f"warm-accept rate {old:.3f} -> {new:.3f} (dropped > {WARM_RATE_DROP})"
         return None
@@ -240,6 +252,18 @@ def self_test():
         ("scale_fat10_a1000_degraded_slots", 2.0, 3.0, False),
         ("scale_fat10_a1000_degraded_slots", 2.0, 9.0, True),
         ("scale_complete20_a50_first_degraded_slot", 3.0, 1.0, False),  # info
+        # bench_solver_hotpath: latency splits, a throughput rate, and the
+        # deterministic DCRoute rejection count.
+        ("hotpath_opt_mean_slot_solve_ms", 1.0, 1.4, False),   # under floor
+        ("hotpath_opt_master_seconds", 0.010, 0.030, True),
+        ("hotpath_columns_per_sec", 1000.0, 500.0, True),      # halved
+        ("hotpath_columns_per_sec", 1000.0, 800.0, False),     # within ratio
+        ("hotpath_columns_per_sec", 1000.0, 2000.0, False),    # growth is fine
+        ("hotpath_warm_accept_rate", 0.9, 0.5, True),          # suffix match
+        ("hotpath_warm_accept_rate", 0.9, 0.8, False),
+        ("hotpath_dcroute_rejected_files", 3.0, 4.0, False),
+        ("hotpath_dcroute_rejected_files", 3.0, 10.0, True),
+        ("hotpath_cg_resumed_share", 0.9, 0.1, False),         # informational
     ]
     failures = 0
     for key, old, new, expect in cases:

@@ -1,6 +1,6 @@
-#include "runtime/worker_pool.h"
+#include "base/worker_pool.h"
 
-namespace postcard::runtime {
+namespace postcard::base {
 
 WorkerPool::WorkerPool(int num_threads) {
   if (num_threads < 0) num_threads = 0;
@@ -55,4 +55,4 @@ void WorkerPool::worker_loop() {
   }
 }
 
-}  // namespace postcard::runtime
+}  // namespace postcard::base

@@ -10,7 +10,10 @@
 #include <optional>
 #include <set>
 #include <tuple>
+#include <unordered_set>
+#include <utility>
 
+#include "base/worker_pool.h"
 #include "lp/simplex.h"
 #include "net/sparse_time_expanded.h"
 #include "net/time_expanded.h"
@@ -20,6 +23,29 @@ namespace postcard::core {
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kFlowEps = 1e-7;
+
+// Minimum estimated DP work (files x arcs, i.e. arc relaxations per pricing
+// pass) before the per-file sweeps shard across the worker pool. Waking and
+// joining the pool costs tens of microseconds; below this floor the serial
+// sweep finishes first. The column merge is file-index ascending either way,
+// so the gate never changes the emitted column sequence.
+constexpr long kParallelPricingMinWork = 1L << 18;
+
+// FNV-style hash over a (file, arc sequence) pair for the seen-path set.
+// Equality stays exact (the full key is stored), so a hash collision costs
+// a comparison, never a wrong dedup verdict — and membership tests have no
+// ordering for iteration to depend on.
+struct PathSeenHash {
+  std::size_t operator()(const std::pair<int, std::vector<int>>& p) const {
+    std::size_t h =
+        1469598103934665603ull ^ static_cast<std::size_t>(p.first);
+    for (int a : p.second) {
+      h ^= static_cast<std::size_t>(a) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
 }  // namespace
 
 namespace {
@@ -186,18 +212,8 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   std::vector<PathColumn> columns;
   // Degenerate master duals can re-price an existing path negative without
   // any possible improvement; adding it again would loop forever.
-  std::set<std::pair<int, std::vector<int>>> seen_paths;
-
-  // Per-file arc usability (deadline subgraph + storage ablation).
-  auto usable = [&](int k, const net::TimeArc& arc) {
-    if (arc.layer >= files[k].max_transfer_slots) return false;
-    if (arc.storage() && !options.allow_storage &&
-        arc.from_node != files[k].source &&
-        arc.from_node != files[k].destination) {
-      return false;
-    }
-    return true;
-  };
+  std::unordered_set<std::pair<int, std::vector<int>>, PathSeenHash>
+      seen_paths;
 
   // ---- Per-commodity reachability pruning (sparse backend only).
   //
@@ -262,6 +278,146 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     }
   }
 
+  // ---- Pricing data layout: structure-of-arrays over the arc blocks.
+  //
+  // The reduced-cost sweep is the pricing inner loop; pulling the four
+  // fields it reads out of the 40+-byte TimeArc records into flat arrays
+  // lets the relaxation stream through memory, and pre-offsetting tails and
+  // heads into the (layer, node) DP grid removes the index arithmetic from
+  // the loop entirely: arc a relaxes dist[arc_tail[a]] + arc_weight[a]
+  // against dist[arc_head[a]]. The weight array is filled once per pricing
+  // pass — one add per arc instead of one per (arc, file).
+  std::vector<int> arc_tail(num_arcs), arc_head(num_arcs), arc_from(num_arcs);
+  std::vector<unsigned char> arc_storage(num_arcs);
+  for (int a = 0; a < num_arcs; ++a) {
+    const net::TimeArc& arc = arcs[a];
+    arc_tail[a] = arc.layer * n + arc.from_node;
+    arc_head[a] = (arc.layer + 1) * n + arc.to_node;
+    arc_from[a] = arc.from_node;
+    arc_storage[a] = arc.storage() ? 1 : 0;
+  }
+  std::vector<double> arc_weight(static_cast<std::size_t>(num_arcs), 0.0);
+
+  // Per-worker DP scratch, slot 0 doubling as the serial path's; sized once
+  // and reused across every pricing round.
+  struct DpScratch {
+    std::vector<double> dist;
+    std::vector<int> pred;
+  };
+  const int pricing_shards =
+      options.pricing_pool != nullptr
+          ? std::max(1, options.pricing_pool->num_threads())
+          : 1;
+  const bool shard_pricing =
+      pricing_shards > 1 && num_files >= 2 * pricing_shards &&
+      static_cast<long>(num_files) * static_cast<long>(num_arcs) >=
+          kParallelPricingMinWork;
+  const std::size_t grid =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(horizon + 1);
+  std::vector<DpScratch> scratch(
+      static_cast<std::size_t>(shard_pricing ? pricing_shards : 1));
+  for (DpScratch& s : scratch) {
+    s.dist.resize(grid);
+    s.pred.resize(grid);
+  }
+
+  // Longest-path DP for file k against the current arc_weight array.
+  // Returns the best total weight at (destination, deadline), kNegInf when
+  // no path exists within the deadline.
+  auto run_dp = [&](int k, DpScratch& s) {
+    const int deadline = files[k].max_transfer_slots;
+    std::fill(s.dist.begin(), s.dist.end(), kNegInf);
+    std::fill(s.pred.begin(), s.pred.end(), -1);
+    s.dist[files[k].source] = 0.0;  // (source, layer 0)
+    if (file_view[k] == kFullSweep) {
+      const int src = files[k].source;
+      const int dst = files[k].destination;
+      for (int layer = 0; layer < deadline; ++layer) {
+        const auto [begin, end] = layer_ranges[layer];
+        if (options.allow_storage) {
+          for (int a = begin; a < end; ++a) {
+            const double from = s.dist[arc_tail[a]];
+            if (from == kNegInf) continue;
+            const double cand = from + arc_weight[a];
+            if (cand > s.dist[arc_head[a]]) {
+              s.dist[arc_head[a]] = cand;
+              s.pred[arc_head[a]] = a;
+            }
+          }
+        } else {
+          // Storage ablation: holding is only allowed at the endpoints.
+          for (int a = begin; a < end; ++a) {
+            if (arc_storage[a] && arc_from[a] != src && arc_from[a] != dst) {
+              continue;
+            }
+            const double from = s.dist[arc_tail[a]];
+            if (from == kNegInf) continue;
+            const double cand = from + arc_weight[a];
+            if (cand > s.dist[arc_head[a]]) {
+              s.dist[arc_head[a]] = cand;
+              s.pred[arc_head[a]] = a;
+            }
+          }
+        }
+      }
+    } else {
+      // Pruned subproblem: same relaxation order over the commodity's
+      // surviving arcs only (deadline and ablation checks are baked into
+      // the view).
+      const CommodityView& view = views[file_view[k]];
+      for (int layer = 0; layer < deadline; ++layer) {
+        const int vb = view.layer_begin[layer];
+        const int ve = view.layer_begin[layer + 1];
+        for (int i = vb; i < ve; ++i) {
+          const int a = view.arc_ids[i];
+          const double from = s.dist[arc_tail[a]];
+          if (from == kNegInf) continue;
+          const double cand = from + arc_weight[a];
+          if (cand > s.dist[arc_head[a]]) {
+            s.dist[arc_head[a]] = cand;
+            s.pred[arc_head[a]] = a;
+          }
+        }
+      }
+    }
+    return s.dist[static_cast<std::size_t>(files[k].max_transfer_slots) * n +
+                  files[k].destination];
+  };
+
+  // Walks the predecessor grid back from (destination, deadline).
+  auto reconstruct = [&](int k, const DpScratch& s) {
+    std::vector<int> path;
+    int node = files[k].destination;
+    int layer = files[k].max_transfer_slots;
+    path.reserve(static_cast<std::size_t>(layer));
+    while (layer > 0) {
+      const int a = s.pred[static_cast<std::size_t>(layer) * n + node];
+      path.push_back(a);
+      node = arc_from[a];
+      --layer;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  // Adds a priced path as a master column unless the path was seen before.
+  auto append_column = [&](int k, std::vector<int>&& path_arcs) {
+    if (!seen_paths.insert({k, path_arcs}).second) return false;
+    PathColumn col;
+    col.file = k;
+    col.arcs = std::move(path_arcs);
+    col.var = master.add_variable(0.0, lp::kInfinity, 0.0);
+    master.add_coefficient(demand_row[k], col.var, 1.0);
+    for (int a : col.arcs) {
+      if (cap_row[a] >= 0) {
+        master.add_coefficient(cap_row[a], col.var, 1.0);
+        master.add_coefficient(chg_row[a], col.var, 1.0);
+      }
+    }
+    columns.push_back(std::move(col));
+    return true;
+  };
+
   lp::RevisedSimplex::Options simplex_opts;
   simplex_opts.feas_tol = options.master_lp.feas_tol;
   simplex_opts.opt_tol = options.master_lp.opt_tol;
@@ -276,6 +432,43 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     result.warm_attempted = true;
   }
 
+  // ---- Dual warm start: price every file once against the previous slot's
+  // final duals (keyed by absolute (link, slot), so surviving arcs keep
+  // yesterday's price and new frontier arcs price at zero) and seed the
+  // master with the winners before the first solve. Purely additive — the
+  // master's optimum is unchanged — but on slowly-drifting instances the
+  // seeded columns are exactly the ones CG would spend its first rounds
+  // discovering. The basis remap above stays valid: try_warm_start treats
+  // columns newer than the snapshot as default-nonbasic.
+  // With no previous-slot duals (the first slot, or an invalidated cache)
+  // the same sweep runs against zero prices, seeding each file's best
+  // uncongested path — the column round 0 would otherwise spend a full
+  // master solve discovering.
+  const bool have_prev_duals =
+      warm_cache && warm_cache->valid && !warm_cache->arc_weights.empty();
+  if (options.dual_warm) {
+    if (have_prev_duals) result.dual_warm_attempted = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int a = 0; a < num_arcs; ++a) {
+      arc_weight[a] = 0.0;
+      if (cap_row[a] < 0 || !have_prev_duals) continue;
+      const auto& weights = warm_cache->arc_weights;
+      const auto it =
+          weights.find({arcs[a].link_index, slot + arcs[a].layer});
+      if (it != weights.end()) arc_weight[a] = it->second;
+    }
+    for (int k = 0; k < num_files; ++k) {
+      if (file_view[k] == kUnreachable) continue;
+      if (run_dp(k, scratch[0]) == kNegInf) continue;
+      if (append_column(k, reconstruct(k, scratch[0]))) {
+        ++result.dual_seed_columns;
+      }
+    }
+    result.pricing_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
   lp::Solution sol;
   // Last fully solved restricted master: optimal for its column set, hence
   // primal feasible for the slot problem (unrouted volume parked on z).
@@ -284,19 +477,46 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   linalg::Vector incumbent_duals;  // duals at the best Lagrangian bound
   double best_objective = std::numeric_limits<double>::infinity();
   int stalled = 0;
-  std::vector<double> dist(static_cast<std::size_t>(n) * (horizon + 1));
-  std::vector<int> pred(static_cast<std::size_t>(n) * (horizon + 1));
+  // Pricing results, one slot per file: workers fill disjoint slots, the
+  // caller merges in file-index order (bit-for-bit the serial sweep).
+  struct FilePrice {
+    double reduced_cost = 0.0;
+    bool found = false;
+    bool add = false;
+    std::vector<int> arcs;
+  };
+  std::vector<FilePrice> priced(static_cast<std::size_t>(num_files));
+  // In-place master resumes (RevisedSimplex::resolve) are sound only while
+  // the master grows append-only from a solved-to-optimality state; any
+  // other outcome forces the next round back through a full solve.
+  bool resume_ready = false;
 
   // POSTCARD_CG_TRACE=1 prints per-round progress to stderr (debug aid).
   const bool trace = std::getenv("POSTCARD_CG_TRACE") != nullptr;
 
   for (result.rounds = 0; result.rounds < options.max_rounds; ++result.rounds) {
     const auto t0 = std::chrono::steady_clock::now();
-    // Direct simplex call (no presolve): exact duals for every master row
-    // plus a warm start from the previous round's basis.
-    sol = simplex.solve(master, warm.basis.empty() ? nullptr : &warm, budget);
+    // Direct simplex call (no presolve): exact duals for every master row.
+    // Rounds after an optimal one resume in place — same basis, same LU
+    // factorization, no phase 1 — since the master only gained columns;
+    // otherwise the solve warm-starts from the previous round's basis.
+    const bool resume = options.reuse_factorization && resume_ready &&
+                        simplex.can_resume(master);
+    // The warm basis is only ever read by a full solve, so it is extracted
+    // lazily right before one (and once after the loop for the cross-slot
+    // capture) — the simplex still holds the state the per-round snapshot
+    // would have recorded, and resumed rounds skip the copy entirely.
+    if (!resume && result.rounds > 0) warm = simplex.extract_warm_start();
+    sol = resume
+              ? simplex.resolve(master, budget)
+              : simplex.solve(master, warm.basis.empty() ? nullptr : &warm,
+                              budget);
+    result.master_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (resume) ++result.resumed_solves;
     if (result.rounds == 0) result.warm_accepted = sol.warm_started;
-    warm = simplex.extract_warm_start();
+    resume_ready = sol.optimal();
     result.lp_iterations += sol.iterations;
     result.master_status = sol.status;
     if (trace) {
@@ -324,85 +544,62 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
 
     // ---- Pricing: per file, the path maximizing the dual arc weights under
     // the supplied duals. Returns the Lagrangian slack sum_k F_k*min(0,rc_k)
-    // and appends any new (deduplicated) improving columns.
+    // and appends any new (deduplicated) improving columns. The per-file DPs
+    // are independent — they read the shared weight array and write disjoint
+    // priced[] slots — so they shard across the pricing pool; the merge
+    // below runs on the caller in file-index order, making the emitted
+    // column sequence (and every downstream plan) bit-for-bit the serial
+    // sweep's.
     auto price = [&](const linalg::Vector& duals, bool* any_added) {
-      double slack = 0.0;
+      const auto tp = std::chrono::steady_clock::now();
       double dual_scale = 1.0;
       for (double y : duals) dual_scale = std::max(dual_scale, std::abs(y));
-      for (int k = 0; k < num_files; ++k) {
-        if (file_view[k] == kUnreachable) continue;  // no path can exist
-        const int deadline = files[k].max_transfer_slots;
-        std::fill(dist.begin(), dist.end(), kNegInf);
-        std::fill(pred.begin(), pred.end(), -1);
-        dist[files[k].source] = 0.0;  // (source, layer 0)
-        if (file_view[k] == kFullSweep) {
-          for (int layer = 0; layer < deadline; ++layer) {
-            const auto [begin, end] = layer_ranges[layer];
-            for (int a = begin; a < end; ++a) {
-              const net::TimeArc& arc = arcs[a];
-              if (!usable(k, arc)) continue;
-              const double from = dist[layer * n + arc.from_node];
-              if (from == kNegInf) continue;
-              const double w =
-                  arc.storage() ? 0.0 : duals[cap_row[a]] + duals[chg_row[a]];
-              double& to = dist[(layer + 1) * n + arc.to_node];
-              if (from + w > to) {
-                to = from + w;
-                pred[(layer + 1) * n + arc.to_node] = a;
-              }
-            }
-          }
-        } else {
-          // Pruned subproblem: same relaxation order over the commodity's
-          // surviving arcs only (deadline and ablation checks are baked
-          // into the view).
-          const CommodityView& view = views[file_view[k]];
-          for (int layer = 0; layer < deadline; ++layer) {
-            const int begin = view.layer_begin[layer];
-            const int end = view.layer_begin[layer + 1];
-            for (int i = begin; i < end; ++i) {
-              const int a = view.arc_ids[i];
-              const net::TimeArc& arc = arcs[a];
-              const double from = dist[layer * n + arc.from_node];
-              if (from == kNegInf) continue;
-              const double w =
-                  arc.storage() ? 0.0 : duals[cap_row[a]] + duals[chg_row[a]];
-              double& to = dist[(layer + 1) * n + arc.to_node];
-              if (from + w > to) {
-                to = from + w;
-                pred[(layer + 1) * n + arc.to_node] = a;
-              }
-            }
-          }
-        }
-        const double best = dist[deadline * n + files[k].destination];
-        if (best == kNegInf) continue;  // no path within the deadline
-        const double reduced_cost = -duals[demand_row[k]] - best;
-        if (reduced_cost < 0.0) slack += files[k].size * reduced_cost;
-        if (reduced_cost >= -options.pricing_tol * dual_scale) continue;
-
-        PathColumn col;
-        col.file = k;
-        int node = files[k].destination, layer = deadline;
-        while (layer > 0) {
-          const int a = pred[layer * n + node];
-          col.arcs.push_back(a);
-          node = arcs[a].from_node;
-          --layer;
-        }
-        std::reverse(col.arcs.begin(), col.arcs.end());
-        if (!seen_paths.insert({k, col.arcs}).second) continue;  // duplicate
-        col.var = master.add_variable(0.0, lp::kInfinity, 0.0);
-        master.add_coefficient(demand_row[k], col.var, 1.0);
-        for (int a : col.arcs) {
-          if (cap_row[a] >= 0) {
-            master.add_coefficient(cap_row[a], col.var, 1.0);
-            master.add_coefficient(chg_row[a], col.var, 1.0);
-          }
-        }
-        columns.push_back(std::move(col));
-        *any_added = true;
+      for (int a = 0; a < num_arcs; ++a) {
+        arc_weight[a] =
+            cap_row[a] < 0 ? 0.0 : duals[cap_row[a]] + duals[chg_row[a]];
       }
+      const double threshold = -options.pricing_tol * dual_scale;
+      auto price_range = [&](int k_begin, int k_end, DpScratch& s) {
+        for (int k = k_begin; k < k_end; ++k) {
+          FilePrice& out = priced[static_cast<std::size_t>(k)];
+          out.found = out.add = false;
+          out.arcs.clear();
+          if (file_view[k] == kUnreachable) continue;  // no path can exist
+          const double best = run_dp(k, s);
+          if (best == kNegInf) continue;  // no path within the deadline
+          out.found = true;
+          out.reduced_cost = -duals[demand_row[k]] - best;
+          if (out.reduced_cost >= threshold) continue;
+          out.add = true;
+          out.arcs = reconstruct(k, s);
+        }
+      };
+      if (shard_pricing) {
+        const int chunk = (num_files + pricing_shards - 1) / pricing_shards;
+        std::vector<std::function<void()>> tasks;
+        for (int t = 0; t < pricing_shards && t * chunk < num_files; ++t) {
+          const int k_begin = t * chunk;
+          const int k_end = std::min(num_files, k_begin + chunk);
+          tasks.push_back([&price_range, &scratch, k_begin, k_end, t] {
+            price_range(k_begin, k_end, scratch[static_cast<std::size_t>(t)]);
+          });
+        }
+        options.pricing_pool->run_all(std::move(tasks));
+      } else {
+        price_range(0, num_files, scratch[0]);
+      }
+      // Deterministic merge, ascending file index.
+      double slack = 0.0;
+      for (int k = 0; k < num_files; ++k) {
+        FilePrice& out = priced[static_cast<std::size_t>(k)];
+        if (!out.found) continue;
+        if (out.reduced_cost < 0.0) slack += files[k].size * out.reduced_cost;
+        if (!out.add) continue;
+        if (append_column(k, std::move(out.arcs))) *any_added = true;
+      }
+      result.pricing_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - tp)
+              .count();
       return slack;
     };
 
@@ -457,9 +654,25 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   // Capture the final basis for the next slot. A failed round leaves the
   // cache untouched (it is only a hint); an artificial still basic makes
   // extract_warm_start return an empty basis, which we also skip.
-  if (options.cross_slot_warm && warm_cache && !warm.basis.empty()) {
-    capture_warm_basis(warm, arcs, slot, topology.num_links(), cap_row,
-                       chg_row, warm_cache);
+  if (options.cross_slot_warm && warm_cache) {
+    warm = simplex.extract_warm_start();  // lazy: see the solve loop
+    if (!warm.basis.empty()) {
+      capture_warm_basis(warm, arcs, slot, topology.num_links(), cap_row,
+                         chg_row, warm_cache);
+    }
+  }
+  // Capture the final duals as next slot's dual-warm pricing weights. Keyed
+  // by absolute (link, slot) like the basis capture; the (rare) non-optimal
+  // exit keeps last slot's weights instead of caching garbage.
+  if (options.dual_warm && warm_cache && sol.optimal() && !sol.duals.empty()) {
+    warm_cache->arc_weights.clear();
+    for (int a = 0; a < num_arcs; ++a) {
+      if (cap_row[a] < 0) continue;
+      warm_cache->arc_weights.insert_or_assign(
+          {arcs[a].link_index, slot + arcs[a].layer},
+          sol.duals[cap_row[a]] + sol.duals[chg_row[a]]);
+    }
+    warm_cache->valid = true;
   }
 
   // ---- Extract plans and the objective.

@@ -41,6 +41,10 @@
 #include "net/file_request.h"
 #include "net/topology.h"
 
+namespace postcard::base {
+class WorkerPool;
+}  // namespace postcard::base
+
 namespace postcard::net {
 class SparseTimeGraph;
 }  // namespace postcard::net
@@ -82,6 +86,14 @@ struct MasterWarmCache {
   bool valid = false;
   long captured_solves = 0;  // diagnostics: snapshots taken so far
   std::map<std::pair<int, int>, ArcRowState> arc_rows;  // (link, abs slot)
+  // Dual warm starts (PathSolveOptions::dual_warm): the final master duals,
+  // reduced to the per-arc pricing weight mu + nu and keyed by the same
+  // (link, absolute slot) identity that survives the window shift. The next
+  // slot prices each file once against yesterday's weights before its first
+  // master solve and seeds the master with the resulting best paths — a
+  // cheaper use of the previous slot than the basis remap (no verification
+  // solve can reject it; extra columns never change the optimum).
+  std::map<std::pair<int, int>, double> arc_weights;  // (link, abs slot)
 };
 
 struct PathSolveOptions {
@@ -112,6 +124,24 @@ struct PathSolveOptions {
   // on a different alternate optimum than a cold start would (identical
   // per-slot objective, possibly different plans).
   bool carry_basis = false;
+  // Resume the restricted master in place between pricing rounds
+  // (RevisedSimplex::resolve): the master only ever grows by appended
+  // columns within a slot, so the incumbent basis, its LU factorization and
+  // its product-form updates all stay valid — rounds after the first pay
+  // neither a refactorization nor a phase 1. Deterministic: the resumed
+  // trajectory is a pure function of the master and the incumbent state.
+  bool reuse_factorization = true;
+  // Seed the first master solve with each file's best path priced against
+  // the previous slot's final duals (cached in MasterWarmCache). Changes
+  // which columns the master starts with — same optimum, possibly a
+  // different (cheaper-to-reach) trajectory — so it defaults off where
+  // bit-for-bit replay against older baselines matters.
+  bool dual_warm = false;
+  // Shards the per-file pricing DP across this pool (null or zero threads =
+  // serial). Results are merged in file-index order, so the generated
+  // columns, the master and every downstream plan are bit-for-bit identical
+  // to the serial sweep.
+  base::WorkerPool* pricing_pool = nullptr;
 };
 
 struct PathSolveResult {
@@ -135,6 +165,16 @@ struct PathSolveResult {
   // verification kept it (vs. falling back to a cold start).
   bool warm_attempted = false;
   bool warm_accepted = false;
+  // Hot-path split: wall time inside the pricing DP (every pass, including
+  // the dual-warm seeding) vs. inside the restricted-master solves.
+  double pricing_seconds = 0.0;
+  double master_seconds = 0.0;
+  // Master solves resumed in place (factorization kept, no phase 1).
+  int resumed_solves = 0;
+  // Dual warm start outcome: attempted when cached weights existed for this
+  // slot, seeded counts the columns they contributed before round 0.
+  bool dual_warm_attempted = false;
+  int dual_seed_columns = 0;
 };
 
 /// Solves the slot-t Postcard problem for `files` against `charge` by column

@@ -1,0 +1,225 @@
+#include "core/dcroute.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace postcard::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DCRouteScheduler::DCRouteScheduler(net::Topology topology,
+                                   DCRouteOptions options)
+    : topology_(std::move(topology)),
+      options_(options),
+      charge_(topology_.num_links()) {}
+
+sim::ScheduleOutcome DCRouteScheduler::schedule(
+    int slot, const std::vector<net::FileRequest>& files) {
+  sim::ScheduleOutcome outcome;
+  last_plans_.clear();
+  std::vector<net::FileRequest> batch = files;
+  for (const net::FileRequest& f : batch) validate(f, topology_);
+  // Most-urgent-first, same admission order as the greedy baseline.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.max_transfer_slots != b.max_transfer_slots) {
+                       return a.max_transfer_slots < b.max_transfer_slots;
+                     }
+                     return a.size > b.size;
+                   });
+  for (const net::FileRequest& file : batch) {
+    FilePlan plan;
+    if (dcroute_route_file(topology_, options_, file, charge_, plan) ==
+        DCRouteResult::kRouted) {
+      outcome.accepted_ids.push_back(file.id);
+      last_plans_.push_back(std::move(plan));
+    } else {
+      outcome.rejected_ids.push_back(file.id);
+      outcome.rejected_volume += file.size;
+    }
+  }
+  (void)slot;
+  return outcome;
+}
+
+DCRouteResult dcroute_route_file(const net::Topology& topology,
+                                 const DCRouteOptions& options,
+                                 const net::FileRequest& file,
+                                 charging::ChargeState& state, FilePlan& plan) {
+  const int n = topology.num_datacenters();
+  const int deadline = file.max_transfer_slots;
+  const int t0 = file.release_slot;
+  plan.file_id = file.id;
+  plan.transfers.clear();
+  if (file.source == file.destination) {
+    return DCRouteResult::kRouted;  // nothing to move
+  }
+
+  // ---- 1. The single cheapest currently-chargeable spatial path.
+  //
+  // Link price under the current charge state: zero while any slot of the
+  // file's window still has headroom below the charged volume X_l (traffic
+  // there is already paid for), a_l per GB otherwise. Links with no
+  // residual capacity anywhere in the window are unusable. Hop-bounded DP
+  // (paths longer than the deadline cannot finish even with storage),
+  // links relaxed in index order with strict improvement — deterministic.
+  std::vector<double> price(static_cast<std::size_t>(topology.num_links()));
+  std::vector<char> usable(static_cast<std::size_t>(topology.num_links()), 0);
+  for (int l = 0; l < topology.num_links(); ++l) {
+    bool free_slot = false, open_slot = false;
+    for (int s = 0; s < deadline; ++s) {
+      if (state.free_headroom(l, t0 + s) > kEps) free_slot = true;
+      if (topology.link(l).capacity - state.committed(l, t0 + s) > kEps) {
+        open_slot = true;
+      }
+    }
+    usable[l] = open_slot ? 1 : 0;
+    price[l] = free_slot ? 0.0 : topology.link(l).unit_cost;
+  }
+  const int max_hops = std::min(deadline, n - 1);
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  std::vector<int> hops(static_cast<std::size_t>(n), 0);
+  std::vector<int> pred_link(static_cast<std::size_t>(n), -1);
+  dist[file.source] = 0.0;
+  for (int round = 0; round < max_hops; ++round) {
+    bool changed = false;
+    for (int l = 0; l < topology.num_links(); ++l) {
+      if (!usable[l]) continue;
+      const net::Link& link = topology.link(l);
+      if (dist[link.from] == kInf || hops[link.from] != round) continue;
+      const double cand = dist[link.from] + price[l];
+      // Strict improvement (or first arrival): ties keep the earlier,
+      // shorter path, so the walk below is loop-free and deterministic.
+      if (cand < dist[link.to] - 1e-15) {
+        dist[link.to] = cand;
+        hops[link.to] = round + 1;
+        pred_link[link.to] = l;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (dist[file.destination] == kInf) return DCRouteResult::kNoPath;
+
+  std::vector<int> path;  // link indices, source -> destination
+  for (int node = file.destination; node != file.source;) {
+    const int l = pred_link[node];
+    path.push_back(l);
+    node = topology.link(l).from;
+  }
+  std::reverse(path.begin(), path.end());
+  const int H = static_cast<int>(path.size());
+
+  // ---- 2. Deadline-aware reservation along the path.
+  //
+  // send[h][s]: volume crossing hop h (0-based) during layer s. Packed
+  // earliest-first against the residual (link, slot) capacities; waiting
+  // volume becomes explicit storage transfers so the plan auditor's
+  // conservation re-simulation accepts the plan.
+  charging::ChargeState scratch = state;  // roll back on failure
+  std::vector<std::vector<double>> send(
+      static_cast<std::size_t>(H),
+      std::vector<double>(static_cast<std::size_t>(deadline), 0.0));
+  if (options.allow_storage) {
+    // Hop-by-hop: hop h may move whatever has already arrived at its tail
+    // and still meet the deadline (H - 1 - h hops must follow).
+    std::vector<double> arrived_cum(static_cast<std::size_t>(deadline) + 1,
+                                    0.0);  // at hop h's tail, by layer start
+    for (int s = 0; s <= deadline; ++s) arrived_cum[s] = file.size;
+    for (int h = 0; h < H; ++h) {
+      const int l = path[h];
+      double sent_cum = 0.0;
+      std::vector<double> next_arrived(static_cast<std::size_t>(deadline) + 1,
+                                       0.0);
+      for (int s = h; s <= deadline - (H - h); ++s) {
+        const double residual =
+            topology.link(l).capacity - scratch.committed(l, t0 + s);
+        const double amount =
+            std::min(residual, arrived_cum[s] - sent_cum);
+        if (amount > kEps) {
+          send[h][s] = amount;
+          scratch.commit(l, t0 + s, amount);
+          sent_cum += amount;
+        }
+        next_arrived[s + 1] = sent_cum;  // arrives at the head end-of-layer
+      }
+      if (sent_cum < file.size - kEps * (1.0 + file.size)) {
+        return DCRouteResult::kNoCapacity;
+      }
+      // Volume keeps accumulating at the head after the last send layer.
+      for (int s = deadline - (H - h) + 1; s <= deadline; ++s) {
+        next_arrived[s + 1 <= deadline ? s + 1 : deadline] =
+            std::max(next_arrived[s], sent_cum);
+      }
+      for (int s = 1; s <= deadline; ++s) {
+        next_arrived[s] = std::max(next_arrived[s], next_arrived[s - 1]);
+      }
+      arrived_cum = std::move(next_arrived);
+    }
+  } else {
+    // Storage ablation: no waiting at intermediate nodes, so volume leaving
+    // the source at layer s crosses hop h at layer s + h exactly — the
+    // feasible amount per start layer is the min staggered residual.
+    for (int s = 0; s + H <= deadline; ++s) {
+      double amount = file.size;
+      for (int h = 0; h < H; ++h) {
+        const int l = path[h];
+        amount = std::min(amount, topology.link(l).capacity -
+                                      scratch.committed(l, t0 + s + h));
+      }
+      double placed = 0.0;
+      for (int u = 0; u < s; ++u) placed += send[0][u];
+      amount = std::min(amount, file.size - placed);
+      if (amount <= kEps) continue;
+      for (int h = 0; h < H; ++h) {
+        send[h][s + h] = amount;
+        scratch.commit(path[h], t0 + s + h, amount);
+      }
+    }
+    double placed = 0.0;
+    for (int s = 0; s < deadline; ++s) placed += send[0][s];
+    if (placed < file.size - kEps * (1.0 + file.size)) {
+      return DCRouteResult::kNoCapacity;
+    }
+  }
+
+  // ---- 3. Emit transfers + explicit storage for held volume. Node h on
+  // the path (0 = source .. H = destination) holds in_cum - out_cum during
+  // each layer; every held GB gets a storage record, every moved GB a link
+  // record, so each unit of volume is accounted at every layer — the same
+  // shape greedy and the LP emit and verify_plan re-simulates.
+  std::vector<int> nodes(static_cast<std::size_t>(H) + 1);
+  nodes[0] = file.source;
+  for (int h = 0; h < H; ++h) nodes[h + 1] = topology.link(path[h]).to;
+  for (int h = 0; h <= H; ++h) {
+    double in_cum = h == 0 ? file.size : 0.0;   // by start of layer s
+    double out_cum = 0.0;                        // by end of layer s
+    for (int s = 0; s < deadline; ++s) {
+      if (h > 0 && s > 0) in_cum += send[h - 1][s - 1];
+      if (h < H) out_cum += send[h][s];
+      const double held = in_cum - out_cum;
+      if (held > kEps) {
+        plan.transfers.push_back({t0 + s, nodes[h], nodes[h], held, -1});
+      }
+      if (h < H && send[h][s] > kEps) {
+        plan.transfers.push_back(
+            {t0 + s, nodes[h], nodes[h + 1], send[h][s], path[h]});
+      }
+    }
+  }
+  std::sort(plan.transfers.begin(), plan.transfers.end(),
+            [](const Transfer& a, const Transfer& b) {
+              if (a.slot != b.slot) return a.slot < b.slot;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  state = std::move(scratch);
+  return DCRouteResult::kRouted;
+}
+
+}  // namespace postcard::core

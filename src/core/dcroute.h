@@ -1,0 +1,80 @@
+// DCRoute-style fast allocation heuristic (see PAPERS.md).
+//
+// DCRoute's premise is that a per-slot LP is too slow for online
+// inter-datacenter transfer admission, so it allocates each arrival on a
+// single precomputed path with deadline-aware capacity reservation. This
+// module reproduces that allocation style against Postcard's model: one
+// cheapest-by-current-charge spatial path per file (no chunking, no
+// re-pricing between chunks — the structural difference from
+// core/greedy.h), then a slot-by-slot reservation of the whole file's
+// volume along that path within the deadline window.
+//
+// It serves three roles:
+//   * a SchedulingPolicy baseline the LP has to beat on cost,
+//   * a degradation-ladder rung between truncated CG and the greedy
+//     chunker (PostcardOptions::use_dcroute_rung): ~one DP per file,
+//     so it absorbs load spikes the pivot budget cannot,
+//   * a speed yardstick in bench_solver_hotpath.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "charging/charge_state.h"
+#include "core/plan.h"
+#include "net/file_request.h"
+#include "net/topology.h"
+#include "sim/policy.h"
+
+namespace postcard::core {
+
+struct DCRouteOptions {
+  // Storage ablation mirror (greedy/Postcard share it): when false, volume
+  // may wait only at the file's endpoints, so the reservation runs the
+  // whole path as a staggered pipeline instead of hop-by-hop.
+  bool allow_storage = true;
+};
+
+/// Why dcroute_route_file declined a file.
+enum class DCRouteResult {
+  kRouted,      // plan built, state updated
+  kNoPath,      // no deadline-feasible spatial path with usable capacity
+  kNoCapacity,  // the chosen path cannot carry the full size in the window
+};
+
+/// Routes one file on the single cheapest currently-chargeable spatial path
+/// (links already charged above their committed volume price at zero), with
+/// deadline-aware reservation: transfers are packed earliest-first hop by
+/// hop, waiting volume is explicitly stored, and the full size must arrive
+/// by the deadline or the state is left untouched. One shortest-path DP and
+/// one reservation sweep per file — no LP, no per-chunk re-pricing.
+DCRouteResult dcroute_route_file(const net::Topology& topology,
+                                 const DCRouteOptions& options,
+                                 const net::FileRequest& file,
+                                 charging::ChargeState& state, FilePlan& plan);
+
+/// DCRoute as a standalone policy: most-urgent-first admission, one
+/// single-path reservation per file, rejects on kNoPath/kNoCapacity.
+class DCRouteScheduler : public sim::SchedulingPolicy {
+ public:
+  explicit DCRouteScheduler(net::Topology topology,
+                            DCRouteOptions options = DCRouteOptions{});
+
+  sim::ScheduleOutcome schedule(
+      int slot, const std::vector<net::FileRequest>& files) override;
+  double cost_per_interval() const override {
+    return charge_.cost_per_interval(topology_);
+  }
+  const charging::ChargeState& charge_state() const override { return charge_; }
+  std::string name() const override { return "dcroute single-path"; }
+
+  const std::vector<FilePlan>& last_plans() const { return last_plans_; }
+
+ private:
+  net::Topology topology_;
+  DCRouteOptions options_;
+  charging::ChargeState charge_;
+  std::vector<FilePlan> last_plans_;
+};
+
+}  // namespace postcard::core

@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "audit/audit.h"
+#include "base/worker_pool.h"
 #include "core/column_generation.h"
+#include "core/dcroute.h"
 #include "core/greedy.h"
 
 namespace postcard::core {
@@ -21,6 +23,9 @@ PostcardController::PostcardController(net::Topology topology,
     throw std::invalid_argument(
         "elastic/pinned formulations belong to the Sec. VI extensions, not "
         "the online controller");
+  }
+  if (options_.pricing_threads > 0) {
+    pricing_pool_ = std::make_shared<base::WorkerPool>(options_.pricing_threads);
   }
 }
 
@@ -154,11 +159,26 @@ sim::ScheduleOutcome PostcardController::schedule(
   if (!pending.empty()) {
     GreedyOptions gopts;
     gopts.allow_storage = options_.formulation.allow_storage;
+    DCRouteOptions dopts;
+    dopts.allow_storage = options_.formulation.allow_storage;
     for (const net::FileRequest& file : pending) {
       if (controls_.disable_rungs >= 2) {
         outcome.deferred_ids.push_back(file.id);
         outcome.deferred_volume += file.size;
         continue;
+      }
+      // DCRoute rung: one cheapest-path reservation before the greedy
+      // chunker. disable_rungs >= 2 already deferred above, so the chaos
+      // semantics "only store-in-place remains" are unchanged.
+      if (options_.use_dcroute_rung) {
+        FilePlan dplan;
+        if (dcroute_route_file(topology_, dopts, file, charge_, dplan) ==
+            DCRouteResult::kRouted) {
+          outcome.accepted_ids.push_back(file.id);
+          ++outcome.rung_dcroute;
+          last_plans_.push_back(std::move(dplan));
+          continue;
+        }
       }
       FilePlan plan;
       double gave_up = 0.0;
@@ -244,12 +264,20 @@ bool PostcardController::try_schedule(int slot,
     popts.stall_rounds = options_.cg_stall_rounds;
     popts.cross_slot_warm = options_.warm_start;
     popts.carry_basis = options_.warm_start_carry_basis;
+    popts.reuse_factorization = options_.cg_reuse_factorization;
+    popts.dual_warm = options_.cg_dual_warm;
+    popts.pricing_pool = pricing_pool_.get();
     const PathSolveResult r = solve_postcard_by_paths(
         topology_, charge_, slot, files, popts,
-        options_.warm_start ? &warm_cache_ : nullptr, budget,
-        options_.use_sparse_graph ? &sparse_graph_ : nullptr);
+        options_.warm_start || options_.cg_dual_warm ? &warm_cache_ : nullptr,
+        budget, options_.use_sparse_graph ? &sparse_graph_ : nullptr);
     outcome.lp_iterations += r.lp_iterations;
     ++outcome.lp_solves;
+    outcome.pricing_seconds += r.pricing_seconds;
+    outcome.master_seconds += r.master_seconds;
+    outcome.resumed_solves += r.resumed_solves;
+    if (r.dual_warm_attempted) ++outcome.dual_warm_attempts;
+    outcome.dual_seed_columns += r.dual_seed_columns;
     if (r.warm_attempted && r.warm_accepted) {
       ++outcome.warm_accepts;
     } else {

@@ -14,6 +14,7 @@
 // required rate and retries, reporting the rejected volume.
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -27,6 +28,10 @@
 #include "net/sparse_time_expanded.h"
 #include "net/topology.h"
 #include "sim/policy.h"
+
+namespace postcard::base {
+class WorkerPool;
+}  // namespace postcard::base
 
 namespace postcard::core {
 
@@ -58,6 +63,26 @@ struct PostcardOptions {
   // solve. Plans are bit-for-bit identical either way (see DESIGN.md §12);
   // the toggle exists for the equivalence tests and as a debugging aid.
   bool use_sparse_graph = true;
+  // Resume the restricted master across pricing rounds on the incumbent
+  // basis and factorization (PathSolveOptions::reuse_factorization): rounds
+  // after the first pay neither a refactorization nor a phase 1.
+  // Deterministic; safe to leave on everywhere.
+  bool cg_reuse_factorization = true;
+  // Seed each slot's first master with columns priced against the previous
+  // slot's final duals (PathSolveOptions::dual_warm). Same per-slot optimum,
+  // possibly different alternate-optimal plans — off by default because
+  // deterministic replays must match the no-seed trajectory.
+  bool cg_dual_warm = false;
+  // Shard the pricing DP across this many persistent worker threads
+  // (0 = serial). The merge is file-index-ordered, so plans are bit-for-bit
+  // identical at any thread count.
+  int pricing_threads = 0;
+  // Insert the DCRoute single-path rung (core/dcroute.h) between the
+  // truncated-CG and greedy rungs of the degradation ladder: files the
+  // budget-cut master left unrouted first try one cheapest-path reservation
+  // (~one DP per file) before falling to the greedy chunker. Off by default
+  // to keep ladder replays against older baselines bit-for-bit.
+  bool use_dcroute_rung = false;
 };
 
 class PostcardController : public sim::SchedulingPolicy {
@@ -169,6 +194,11 @@ class PostcardController : public sim::SchedulingPolicy {
   // place by each solve. Copied by snapshot_clone with everything else, so
   // clones keep their own arena (plain vectors, nothing shared).
   net::SparseTimeGraph sparse_graph_;
+  // Pricing worker pool (pricing_threads > 0). Shared — not deep-copied —
+  // by snapshot_clone: the pool is stateless between run_all() calls and
+  // its queue is internally locked, so clones solving in parallel reuse the
+  // same threads instead of each spawning their own.
+  std::shared_ptr<base::WorkerPool> pricing_pool_;
   sim::SolveControls controls_;
   sim::AuditControls audit_controls_;
 };

@@ -256,6 +256,15 @@ bool LuFactorization::update(const Vector& w, Index pos) {
   Eta e;
   e.pos = pos;
   e.pivot = pivot;
+  // Count first so the eta arrays are sized exactly once — this runs every
+  // pivot, and the transformed column carries enough fill that growing the
+  // vectors geometrically shows up in profiles.
+  Index nnz = 0;
+  for (Index i = 0; i < n_; ++i) {
+    if (i != pos && w[i] != 0.0) ++nnz;
+  }
+  e.idx.reserve(static_cast<std::size_t>(nnz));
+  e.val.reserve(static_cast<std::size_t>(nnz));
   for (Index i = 0; i < n_; ++i) {
     if (i != pos && w[i] != 0.0) {
       e.idx.push_back(i);

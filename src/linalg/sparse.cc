@@ -61,6 +61,43 @@ SparseMatrix SparseMatrix::from_triplets(Index rows, Index cols,
   return a;
 }
 
+void SparseMatrix::append_columns(Index new_cols,
+                                  const std::vector<Triplet>& triplets,
+                                  std::size_t first) {
+  if (new_cols < 0) throw std::invalid_argument("negative column count");
+  const Index lo = cols_;
+  const Index hi = cols_ + new_cols;
+  std::vector<Triplet> tail(
+      triplets.begin() + static_cast<std::ptrdiff_t>(first), triplets.end());
+  for (const Triplet& t : tail) {
+    if (t.row < 0 || t.row >= rows_ || t.col < lo || t.col >= hi) {
+      throw std::out_of_range("triplet outside appended column range");
+    }
+  }
+  std::sort(tail.begin(), tail.end(), [](const Triplet& x, const Triplet& y) {
+    return x.col != y.col ? x.col < y.col : x.row < y.row;
+  });
+  col_ptr_.reserve(static_cast<std::size_t>(hi) + 1);
+  row_idx_.reserve(row_idx_.size() + tail.size());
+  values_.reserve(values_.size() + tail.size());
+  std::size_t p = 0;
+  for (Index j = lo; j < hi; ++j) {
+    while (p < tail.size() && tail[p].col == j) {
+      const Index r = tail[p].row;
+      double sum = 0.0;
+      while (p < tail.size() && tail[p].col == j && tail[p].row == r) {
+        sum += tail[p++].value;
+      }
+      if (std::abs(sum) > 0.0) {
+        row_idx_.push_back(r);
+        values_.push_back(sum);
+      }
+    }
+    col_ptr_.push_back(static_cast<Index>(row_idx_.size()));
+  }
+  cols_ = hi;
+}
+
 SparseMatrix SparseMatrix::from_csc(Index rows, Index cols,
                                     std::vector<Index> col_ptr,
                                     std::vector<Index> row_idx,

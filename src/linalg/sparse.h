@@ -20,7 +20,8 @@ struct Triplet {
   double value = 0.0;
 };
 
-/// Immutable sparse matrix in compressed-sparse-column form.
+/// Sparse matrix in compressed-sparse-column form. Existing entries are
+/// immutable; the matrix can only grow, column-wise, via append_columns().
 ///
 /// Entries within each column are sorted by row index and duplicate
 /// coordinates passed to the builder are summed, so the structure is
@@ -62,6 +63,15 @@ class SparseMatrix {
 
   /// Returns A^T as a new CSC matrix (equivalently: this matrix in CSR).
   SparseMatrix transpose() const;
+
+  /// Grows the matrix in place by `new_cols` columns assembled from
+  /// `triplets[first..]`, every one of which must address the appended
+  /// column range [cols(), cols() + new_cols). Existing columns are
+  /// untouched; the new columns get the same canonical form as
+  /// from_triplets (rows sorted, duplicates summed, exact-zero sums
+  /// dropped). This is the incremental path for append-only LP models.
+  void append_columns(Index new_cols, const std::vector<Triplet>& triplets,
+                      std::size_t first = 0);
 
   /// Dense element lookup (binary search within the column); O(log nnz_col).
   double coeff(Index row, Index col) const;

@@ -220,8 +220,10 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm,
                                SolveBudget* budget) {
   budget_ = budget && budget->limited() ? budget : nullptr;
   a_ = model.build_matrix();
+  matrix_entries_ = model.num_entries();
   n_ = model.num_variables();
   m_ = model.num_constraints();
+  rebuild_rows();
   art_row_.clear();
   art_sign_.clear();
 
@@ -257,6 +259,7 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm,
     if (!refactorize()) {
       Solution result;
       result.status = SolveStatus::kNumericalFailure;
+      last_status_ = result.status;
       return result;
     }
   }
@@ -271,73 +274,38 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm,
   work_rho_.assign(static_cast<std::size_t>(m_), 0.0);
   work_rhs_.assign(static_cast<std::size_t>(m_), 0.0);
 
-  Solution result;
-  result.warm_started = started;
   stat_degenerate_ = stat_flips_ = 0;
   recompute_basic_values();
 
   long iterations = 0;
+  long phase1_iterations = 0;
   const long limit = options_.max_iterations >= 0
                          ? options_.max_iterations
                          : 2000 + 100L * (m_ + n_);
-
-  auto finish = [&](SolveStatus status) {
-    result.status = status;
-    result.iterations = iterations;
-    result.degenerate_pivots = stat_degenerate_;
-    result.bound_flips = stat_flips_;
-    result.x.assign(x_.begin(), x_.begin() + n_);
-    if (status == SolveStatus::kOptimal ||
-        status == SolveStatus::kIterationLimit ||
-        status == SolveStatus::kDeadlineExceeded) {
-      result.objective = model.objective_value(result.x);
-      // Duals against the true costs.
-      for (int i = 0; i < m_; ++i) work_y_[i] = base_cost_[basis_[i]];
-      lu_.btran(work_y_);
-      result.duals = work_y_;
-      result.reduced_costs.resize(static_cast<std::size_t>(n_));
-      for (int j = 0; j < n_; ++j) {
-        result.reduced_costs[j] = base_cost_[j] - column_dot(j, work_y_);
-      }
-    }
-    return result;
-  };
-
-  // A phase is first run with perturbed costs; both a claimed optimum and a
-  // claimed unbounded ray are then re-verified against the true costs (the
-  // perturbation gives flat directions a slope, so a zero-cost ray with an
-  // infinite bound looks falsely unbounded).
-  auto run_perturbed_phase = [&](unsigned seed) {
-    apply_perturbation(seed);
-    SolveStatus s = run_phase(&iterations, limit);
-    if (s == SolveStatus::kOptimal || s == SolveStatus::kUnbounded) {
-      remove_perturbation();
-      s = run_phase(&iterations, limit);
-    }
-    return s;
-  };
 
   // ---- Phase 1: drive the artificials to zero.
   if (!art_row_.empty()) {
     for (std::size_t k = 0; k < art_row_.size(); ++k) base_cost_[n_ + m_ + k] = 1.0;
     phase1_stop_when_feasible_ = true;
-    const SolveStatus s1 = run_perturbed_phase(0x9e3779b9u);
+    const SolveStatus s1 = run_perturbed_phase(0x9e3779b9u, &iterations, limit);
     phase1_stop_when_feasible_ = false;
     if (s1 == SolveStatus::kUnbounded || s1 == SolveStatus::kNumericalFailure) {
-      return finish(SolveStatus::kNumericalFailure);
+      return finish_solution(model, SolveStatus::kNumericalFailure, iterations,
+                             phase1_iterations, started);
     }
     if (s1 == SolveStatus::kIterationLimit ||
         s1 == SolveStatus::kDeadlineExceeded) {
-      return finish(s1);
+      return finish_solution(model, s1, iterations, phase1_iterations, started);
     }
-    result.phase1_iterations = iterations;
+    phase1_iterations = iterations;
 
     double infeasibility = 0.0;
     for (std::size_t k = 0; k < art_row_.size(); ++k) {
       infeasibility += std::abs(x_[n_ + m_ + k]);
     }
     if (infeasibility > options_.feas_tol * (1.0 + infeasibility)) {
-      return finish(SolveStatus::kInfeasible);
+      return finish_solution(model, SolveStatus::kInfeasible, iterations,
+                             phase1_iterations, started);
     }
     for (std::size_t k = 0; k < art_row_.size(); ++k) {
       const int aj = n_ + m_ + static_cast<int>(k);
@@ -353,14 +321,181 @@ Solution RevisedSimplex::solve(const LpModel& model, const WarmStart* warm,
     // iteratively-updated x, and warm-started solves diverge from cold ones
     // in the last ulp — breaking the cross-slot guarantee that warm starts
     // replay cold trajectories bit for bit.
-    if (!refactorize()) return finish(SolveStatus::kNumericalFailure);
+    if (!refactorize()) {
+      return finish_solution(model, SolveStatus::kNumericalFailure, iterations,
+                             phase1_iterations, started);
+    }
     recompute_basic_values();
   }
 
   // ---- Phase 2: true objective.
   for (int j = 0; j < n_; ++j) base_cost_[j] = model.objective()[j];
   for (int j = n_; j < total; ++j) base_cost_[j] = 0.0;
-  return finish(run_perturbed_phase(0x7f4a7c15u));
+  const SolveStatus s2 = run_perturbed_phase(0x7f4a7c15u, &iterations, limit);
+  return finish_solution(model, s2, iterations, phase1_iterations, started);
+}
+
+Solution RevisedSimplex::finish_solution(const LpModel& model,
+                                         SolveStatus status, long iterations,
+                                         long phase1_iterations,
+                                         bool warm_started) {
+  Solution result;
+  result.status = status;
+  result.iterations = iterations;
+  result.phase1_iterations = phase1_iterations;
+  result.warm_started = warm_started;
+  result.degenerate_pivots = stat_degenerate_;
+  result.bound_flips = stat_flips_;
+  result.x.assign(x_.begin(), x_.begin() + n_);
+  if (status == SolveStatus::kOptimal ||
+      status == SolveStatus::kIterationLimit ||
+      status == SolveStatus::kDeadlineExceeded) {
+    result.objective = model.objective_value(result.x);
+    // Duals against the true costs.
+    for (int i = 0; i < m_; ++i) work_y_[i] = base_cost_[basis_[i]];
+    lu_.btran(work_y_);
+    result.duals = work_y_;
+    result.reduced_costs.resize(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      result.reduced_costs[j] = base_cost_[j] - column_dot(j, work_y_);
+    }
+  }
+  last_status_ = status;
+  return result;
+}
+
+// A phase is first run with perturbed costs; both a claimed optimum and a
+// claimed unbounded ray are then re-verified against the true costs (the
+// perturbation gives flat directions a slope, so a zero-cost ray with an
+// infinite bound looks falsely unbounded).
+SolveStatus RevisedSimplex::run_perturbed_phase(unsigned seed,
+                                                long* iterations,
+                                                long iteration_limit) {
+  apply_perturbation(seed);
+  SolveStatus s = run_phase(iterations, iteration_limit);
+  if (s == SolveStatus::kOptimal || s == SolveStatus::kUnbounded) {
+    remove_perturbation();
+    s = run_phase(iterations, iteration_limit);
+  }
+  return s;
+}
+
+bool RevisedSimplex::can_resume(const LpModel& model) const {
+  if (last_status_ != SolveStatus::kOptimal) return false;
+  if (m_ <= 0 || basis_.empty()) return false;
+  if (model.num_constraints() != m_) return false;
+  const int new_n = model.num_variables();
+  if (new_n < n_) return false;
+  // An artificial still basic (degenerate phase-1 leftover at zero) would
+  // have to survive the resume; dropping to a cold start instead keeps the
+  // resumed state artificial-free, matching what a round-to-round warm
+  // start reconstructs.
+  for (int i = 0; i < m_; ++i) {
+    if (basis_[i] >= n_ + m_) return false;
+  }
+  // Appended columns must enter at value zero, or the incumbent basic
+  // point (whose activities ignore them) would no longer be feasible.
+  for (int j = n_; j < new_n; ++j) {
+    const double lo = model.col_lower()[j];
+    const double hi = model.col_upper()[j];
+    VarStatus st;
+    double value;
+    classify_default(lo, hi, st, value, VarStatus::kAtLower,
+                     VarStatus::kAtUpper, VarStatus::kFree);
+    if (value != 0.0) return false;
+  }
+  return true;
+}
+
+Solution RevisedSimplex::resolve(const LpModel& model, SolveBudget* budget) {
+  if (!can_resume(model)) return solve(model, nullptr, budget);
+  budget_ = budget && budget->limited() ? budget : nullptr;
+
+  const int old_n = n_;
+  const int delta = model.num_variables() - old_n;
+  n_ = model.num_variables();
+
+  // Append only the entry triplets past the watermark: a column-generation
+  // master grows strictly append-only, so rebuilding (and re-bucket-sorting)
+  // the whole CSC matrix every round is wasted work. Any triplet that lands
+  // in a pre-existing column falls back to the full rebuild.
+  const auto& entries = model.entries();
+  bool append_only = a_.rows() == m_ && a_.cols() == old_n &&
+                     matrix_entries_ <= model.num_entries();
+  for (std::size_t e = static_cast<std::size_t>(matrix_entries_);
+       append_only && e < entries.size(); ++e) {
+    if (entries[e].col < old_n) append_only = false;
+  }
+  if (append_only) {
+    a_.append_columns(static_cast<linalg::Index>(delta), entries,
+                      static_cast<std::size_t>(matrix_entries_));
+  } else {
+    a_ = model.build_matrix();
+  }
+  rebuild_rows();
+  matrix_entries_ = model.num_entries();
+
+  // Drop the (all-nonbasic, fixed-at-zero) artificials so the resumed
+  // variable set matches what a round-to-round warm start would rebuild.
+  art_row_.clear();
+  art_sign_.clear();
+  lower_.resize(static_cast<std::size_t>(old_n + m_));
+  upper_.resize(static_cast<std::size_t>(old_n + m_));
+  x_.resize(static_cast<std::size_t>(old_n + m_));
+  vstat_.resize(static_cast<std::size_t>(old_n + m_));
+
+  if (delta > 0) {
+    // Shift the variable-indexed state: logicals move from old_n+i to n_+i.
+    lower_.insert(lower_.begin() + old_n, static_cast<std::size_t>(delta), 0.0);
+    upper_.insert(upper_.begin() + old_n, static_cast<std::size_t>(delta), 0.0);
+    x_.insert(x_.begin() + old_n, static_cast<std::size_t>(delta), 0.0);
+    vstat_.insert(vstat_.begin() + old_n, static_cast<std::size_t>(delta),
+                  VarStatus::kFree);
+    for (int j = old_n; j < n_; ++j) {
+      lower_[j] = model.col_lower()[j];
+      upper_[j] = model.col_upper()[j];
+      classify_default(lower_[j], upper_[j], vstat_[j], x_[j],
+                       VarStatus::kAtLower, VarStatus::kAtUpper,
+                       VarStatus::kFree);
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] >= old_n) basis_[i] += delta;
+    }
+  }
+  basic_pos_.assign(static_cast<std::size_t>(n_ + m_), -1);
+  for (int i = 0; i < m_; ++i) basic_pos_[basis_[i]] = i;
+
+  // The LU factorization and its product-form updates stay valid: the basis
+  // holds only pre-existing structural columns and logicals, whose
+  // coefficients are untouched by an append-only model change. Phase 1 is
+  // unnecessary: the incumbent basic point (new columns at zero) is the
+  // previous optimum, which is feasible.
+  const int total = total_variables();
+  cost_.assign(static_cast<std::size_t>(total), 0.0);
+  base_cost_.assign(static_cast<std::size_t>(total), 0.0);
+  d_.assign(static_cast<std::size_t>(total), 0.0);
+  devex_.assign(static_cast<std::size_t>(total), 1.0);
+  for (int j = 0; j < n_; ++j) base_cost_[j] = model.objective()[j];
+
+  stat_degenerate_ = stat_flips_ = 0;
+  long iterations = 0;
+  const long limit = options_.max_iterations >= 0
+                         ? options_.max_iterations
+                         : 2000 + 100L * (m_ + n_);
+  // A resume extends an already-optimal trajectory by a handful of pivots.
+  // The perturb-then-verify cycle solve() runs (two full phase entries, each
+  // re-deriving duals and reduced costs from scratch) would roughly double
+  // the fixed cost of every master round for anti-degeneracy protection the
+  // EXPAND minimum step already provides on these short tails — so a resume
+  // prices the true costs directly in a single phase.
+  cost_ = base_cost_;
+  const SolveStatus s = run_phase(&iterations, limit);
+  if (s == SolveStatus::kNumericalFailure) {
+    // The resumed trajectory died (e.g. a refactorization of a drifted
+    // basis failed); a cold solve rebuilds everything from scratch.
+    return solve(model, nullptr, budget);
+  }
+  return finish_solution(model, s, iterations, 0, true);
 }
 
 void RevisedSimplex::apply_perturbation(unsigned seed) {
@@ -375,6 +510,30 @@ void RevisedSimplex::apply_perturbation(unsigned seed) {
 }
 
 void RevisedSimplex::remove_perturbation() { cost_ = base_cost_; }
+
+// Counting-sort transpose of a_. Column order within each row is ascending
+// because the fill pass walks columns ascending, so the scatter in iterate()
+// accumulates per-row contributions in exactly the order the old per-column
+// gather did — the pass is bit-for-bit equivalent. O(nnz), cheap enough to
+// rerun after every append.
+void RevisedSimplex::rebuild_rows() {
+  const auto& rows = a_.row_idx();
+  const auto& vals = a_.values();
+  const std::size_t nnz = vals.size();
+  row_ptr_.assign(static_cast<std::size_t>(m_) + 1, 0);
+  row_col_.resize(nnz);
+  row_val_.resize(nnz);
+  for (std::size_t p = 0; p < nnz; ++p) ++row_ptr_[rows[p] + 1];
+  for (int i = 0; i < m_; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  std::vector<int> next(row_ptr_.begin(), row_ptr_.end() - 1);
+  for (int j = 0; j < n_; ++j) {
+    for (linalg::Index p = a_.col_begin(j); p < a_.col_end(j); ++p) {
+      const int at = next[rows[p]]++;
+      row_col_[at] = j;
+      row_val_[at] = vals[p];
+    }
+  }
+}
 
 bool RevisedSimplex::refactorize() {
   std::vector<linalg::Triplet> triplets;
@@ -427,15 +586,20 @@ double RevisedSimplex::violation(int j) const {
 }
 
 int RevisedSimplex::price() const {
+  // Devex score is v^2 / devex_j; the argmax is taken division-free by
+  // cross-multiplying (weights are positive), which keeps the scan at one
+  // multiply per candidate.
   int best = -1;
-  double best_score = 0.0;
+  double best_v2 = 0.0;
+  double best_w = 1.0;
   const int total = total_variables();
   for (int j = 0; j < total; ++j) {
     const double v = violation(j);
     if (v <= dual_tol_) continue;
-    const double score = v * v / devex_[j];
-    if (score > best_score) {
-      best_score = score;
+    const double v2 = v * v;
+    if (v2 * best_w > best_v2 * devex_[j]) {
+      best_v2 = v2;
+      best_w = devex_[j];
       best = j;
     }
   }
@@ -570,9 +734,26 @@ RevisedSimplex::StepResult RevisedSimplex::iterate() {
   const double devex_q = devex_[q];
   bool reset_devex = false;
   const int total = total_variables();
+  // Assemble the pivot row alpha = rho^T [A | -I | art] by scattering the
+  // nonzeros of rho across the matrix rows they touch — O(nnz of the rows
+  // rho hits) instead of a dot product against every column. Rows scatter
+  // in ascending index, so each alpha_j accumulates its terms in exactly
+  // the order column_dot would: the results are bit-for-bit identical.
+  work_alpha_.assign(static_cast<std::size_t>(total), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const double rho = work_rho_[i];
+    if (rho == 0.0) continue;
+    for (int p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      work_alpha_[row_col_[p]] += row_val_[p] * rho;
+    }
+    work_alpha_[n_ + i] = -rho;
+  }
+  for (std::size_t k = 0; k < art_row_.size(); ++k) {
+    work_alpha_[n_ + m_ + k] = art_sign_[k] * work_rho_[art_row_[k]];
+  }
   for (int j = 0; j < total; ++j) {
     if (vstat_[j] == VarStatus::kBasic || j == q) continue;
-    const double alpha_j = column_dot(j, work_rho_);
+    const double alpha_j = work_alpha_[j];
     if (alpha_j == 0.0) continue;
     d_[j] -= d_ratio * alpha_j;
     const double candidate = (alpha_j * alpha_j) / (alpha_q * alpha_q) * devex_q;

@@ -21,6 +21,7 @@
 //     and periodic refactorization.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "linalg/lu.h"
@@ -79,6 +80,25 @@ class RevisedSimplex {
   Solution solve(const LpModel& model, const WarmStart* warm = nullptr,
                  SolveBudget* budget = nullptr);
 
+  /// True when resolve() can continue in place from the last solve on this
+  /// object: it ended kOptimal, `model` has the same rows and at least as
+  /// many columns (existing columns and row bounds unchanged — the caller's
+  /// contract), every appended column starts at value zero (so the incumbent
+  /// basic point stays feasible), and no artificial variable is still basic.
+  bool can_resume(const LpModel& model) const;
+
+  /// Hot restart for the column-generation inner loop: re-optimizes `model`
+  /// from the incumbent basis, keeping the LU factorization and its
+  /// product-form updates (the basis columns' coefficients are unchanged
+  /// when columns are only appended), so no refactorization and no phase 1
+  /// are paid. Falls back to a full cold solve() when can_resume() is false
+  /// or the resumed run hits a numerical failure. The trajectory is
+  /// deterministic but intentionally cheaper than solve()'s: the matrix is
+  /// extended in place (append_columns) instead of rebuilt, and the short
+  /// resumed tail prices the true costs in a single phase — no perturbation
+  /// cycle, whose anti-degeneracy role the EXPAND minimum step covers.
+  Solution resolve(const LpModel& model, SolveBudget* budget = nullptr);
+
   /// Captures the final basis of the last solve() for reuse. Returns an
   /// unusable (empty-basis) snapshot when an artificial variable is still
   /// basic or no solve has run.
@@ -124,6 +144,15 @@ class RevisedSimplex {
   int price() const;
   StepResult iterate();
   SolveStatus run_phase(long* iterations, long iteration_limit);
+  /// Runs one phase with perturbed costs, then re-verifies a claimed
+  /// optimum/unbounded ray against the true costs (see solve()).
+  SolveStatus run_perturbed_phase(unsigned seed, long* iterations,
+                                  long iteration_limit);
+  /// Assembles the Solution record from the final solver state (primal
+  /// values, objective, duals, reduced costs) and records last_status_.
+  Solution finish_solution(const LpModel& model, SolveStatus status,
+                           long iterations, long phase1_iterations,
+                           bool warm_started);
   void apply_perturbation(unsigned seed);
   void remove_perturbation();
   int total_variables() const {
@@ -134,9 +163,21 @@ class RevisedSimplex {
 
   Options options_;
   SolveBudget* budget_ = nullptr;  // per-solve cancellation token, may be null
+  // Outcome of the last solve()/resolve(); resolve() requires kOptimal.
+  SolveStatus last_status_ = SolveStatus::kNumericalFailure;
 
   // Problem data in computational form.
   linalg::SparseMatrix a_;             // structural columns
+  // Row-wise (CSR) view of a_: row i's (column, value) entries live at
+  // [row_ptr_[i], row_ptr_[i+1]), columns ascending. Kept in lockstep with
+  // a_ (rebuilt whenever it changes) so the pivot-row pass can scatter the
+  // btran'd unit vector across the rows it actually touches instead of
+  // gathering a dot product for every column.
+  std::vector<int> row_ptr_, row_col_;
+  std::vector<double> row_val_;
+  // Model entry count already folded into a_; resolve() appends only the
+  // triplets past this watermark instead of rebuilding the whole matrix.
+  int matrix_entries_ = 0;
   int n_ = 0;                          // structural count
   int m_ = 0;                          // row count
   std::vector<int> art_row_;           // artificial -> row
@@ -160,8 +201,12 @@ class RevisedSimplex {
   // artificial is exactly zero (feasibility is phase 1's only goal).
   bool phase1_stop_when_feasible_ = false;
 
+  /// Rebuilds the CSR row view (row_ptr_/row_col_/row_val_) from a_.
+  void rebuild_rows();
+
   // Scratch.
   linalg::Vector work_y_, work_w_, work_rho_, work_rhs_;
+  linalg::Vector work_alpha_;  // pivot-row values, all variables
   long stat_degenerate_ = 0;
   long stat_flips_ = 0;
 };

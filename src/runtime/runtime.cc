@@ -407,7 +407,8 @@ void ControllerRuntime::solve_slot(int slot,
 
   // Did this outcome reach any rung below the full LP optimum?
   auto outcome_degraded = [](const sim::ScheduleOutcome& o) {
-    return o.rung_truncated + o.rung_greedy > 0 || !o.deferred_ids.empty();
+    return o.rung_truncated + o.rung_dcroute + o.rung_greedy > 0 ||
+           !o.deferred_ids.empty();
   };
 
   // Single-writer phase: merge results in deterministic (backend, group)
@@ -599,9 +600,15 @@ void ControllerRuntime::record_outcome(
   b.stats.lp_solves += outcome.lp_solves;
   b.stats.warm_accepts += outcome.warm_accepts;
   b.stats.cold_starts += outcome.cold_starts;
+  b.stats.pricing_seconds += outcome.pricing_seconds;
+  b.stats.master_seconds += outcome.master_seconds;
+  b.stats.resumed_solves += outcome.resumed_solves;
+  b.stats.dual_warm_attempts += outcome.dual_warm_attempts;
+  b.stats.dual_seed_columns += outcome.dual_seed_columns;
   b.stats.rung_full += outcome.rung_full;
   b.stats.rung_truncated += outcome.rung_truncated;
   b.stats.rung_greedy += outcome.rung_greedy;
+  b.stats.rung_dcroute += outcome.rung_dcroute;
   b.stats.solver_failures += outcome.solver_failures;
   if (!outcome.solver_status.empty()) {
     b.stats.last_solver_status = outcome.solver_status;

@@ -73,6 +73,15 @@ struct BackendStats {
   // and accepted vs. solves run cold (nothing seeded, or rejected).
   long warm_accepts = 0;
   long cold_starts = 0;
+  // Solver hot-path split (column-generation backends only): wall time in
+  // the pricing DP vs. the restricted-master solves, master solves resumed
+  // in place on the incumbent factorization, and dual-warm-start outcomes
+  // (slots seeded from cached duals / columns those seeds contributed).
+  double pricing_seconds = 0.0;
+  double master_seconds = 0.0;
+  long resumed_solves = 0;
+  long dual_warm_attempts = 0;
+  long dual_seed_columns = 0;
   // Percentile ledger integrity: uncommits that asked for more volume than
   // the slot held (beyond rounding noise). Always 0 in a correct engine;
   // nonzero pinpoints a double-uncommit or a commit/uncommit mismatch.
@@ -84,6 +93,9 @@ struct BackendStats {
   long rung_full = 0;
   long rung_truncated = 0;
   long rung_greedy = 0;
+  // Files placed by the DCRoute single-path rung (between truncated CG and
+  // the greedy chunker; zero unless PostcardOptions::use_dcroute_rung).
+  long rung_dcroute = 0;
   // Store-in-place carryover (the last rung): deferred files re-enqueued
   // into the next slot's batch with one slot less deadline slack. Files
   // deferred with no slack left land in failed_files/failed_volume.

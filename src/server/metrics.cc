@@ -105,6 +105,16 @@ std::string format_metrics(const runtime::RuntimeStats& s) {
                  starts > 0 ? static_cast<double>(b.warm_accepts) /
                                   static_cast<double>(starts)
                             : 0.0);
+    backend_line(os, "postcard_backend_pricing_seconds", b.name,
+                 b.pricing_seconds);
+    backend_line(os, "postcard_backend_master_seconds", b.name,
+                 b.master_seconds);
+    backend_line(os, "postcard_backend_resumed_solves", b.name,
+                 b.resumed_solves);
+    backend_line(os, "postcard_backend_dual_warm_attempts", b.name,
+                 b.dual_warm_attempts);
+    backend_line(os, "postcard_backend_dual_seed_columns", b.name,
+                 b.dual_seed_columns);
     backend_line(os, "postcard_backend_charge_reduce_violations", b.name,
                  b.charge_reduce_violations);
     backend_line(os, "postcard_backend_rung_full_slots", b.name, b.rung_full);
@@ -112,6 +122,8 @@ std::string format_metrics(const runtime::RuntimeStats& s) {
                  b.rung_truncated);
     backend_line(os, "postcard_backend_rung_greedy_slots", b.name,
                  b.rung_greedy);
+    backend_line(os, "postcard_backend_rung_dcroute_files", b.name,
+                 b.rung_dcroute);
     backend_line(os, "postcard_backend_carryover_files", b.name,
                  b.carryover_files);
     backend_line(os, "postcard_backend_degraded_slots", b.name,

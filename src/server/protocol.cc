@@ -118,10 +118,16 @@ void encode_backend_stats(ByteWriter& w, const runtime::BackendStats& s) {
   w.i32(s.lp_solves);
   w.i64(s.warm_accepts);
   w.i64(s.cold_starts);
+  w.f64(s.pricing_seconds);
+  w.f64(s.master_seconds);
+  w.i64(s.resumed_solves);
+  w.i64(s.dual_warm_attempts);
+  w.i64(s.dual_seed_columns);
   w.i64(s.charge_reduce_violations);
   w.i64(s.rung_full);
   w.i64(s.rung_truncated);
   w.i64(s.rung_greedy);
+  w.i64(s.rung_dcroute);
   w.i64(s.carryover_files);
   w.f64(s.carryover_volume);
   w.i64(s.carryover_entered_files);
@@ -160,10 +166,16 @@ runtime::BackendStats decode_backend_stats(ByteReader& r) {
   s.lp_solves = r.i32();
   s.warm_accepts = r.i64();
   s.cold_starts = r.i64();
+  s.pricing_seconds = r.f64();
+  s.master_seconds = r.f64();
+  s.resumed_solves = r.i64();
+  s.dual_warm_attempts = r.i64();
+  s.dual_seed_columns = r.i64();
   s.charge_reduce_violations = r.i64();
   s.rung_full = r.i64();
   s.rung_truncated = r.i64();
   s.rung_greedy = r.i64();
+  s.rung_dcroute = r.i64();
   s.carryover_files = r.i64();
   s.carryover_volume = r.f64();
   s.carryover_entered_files = r.i64();

@@ -28,6 +28,16 @@ struct ScheduleOutcome {
   // vs. solves that ran from a cold start (none seeded, or rejected).
   int warm_accepts = 0;
   int cold_starts = 0;
+  // Solver hot-path split (column-generation backends; others leave zero):
+  // wall time inside the pricing DP vs. the restricted-master solves, master
+  // solves resumed in place on the incumbent factorization, and dual
+  // warm-start outcomes (slots that seeded from cached duals / columns those
+  // seeds contributed).
+  double pricing_seconds = 0.0;
+  double master_seconds = 0.0;
+  int resumed_solves = 0;
+  int dual_warm_attempts = 0;
+  int dual_seed_columns = 0;
 
   // ---- Degradation-ladder accounting (policies without a ladder leave
   // everything below zero/empty; active only under SolveControls).
@@ -38,6 +48,9 @@ struct ScheduleOutcome {
   int rung_full = 0;
   int rung_truncated = 0;
   int rung_greedy = 0;
+  // Files routed by the DCRoute single-path rung (between truncated CG and
+  // the greedy chunker; active only with PostcardOptions::use_dcroute_rung).
+  int rung_dcroute = 0;
   // Files neither the (truncated) LP nor the greedy fallback could place
   // this slot. They were NOT accepted and NOT rejected-for-capacity: the
   // caller decides between store-in-place carryover and loud failure.

@@ -1,0 +1,189 @@
+// DCRoute single-path rung (core/dcroute.h): unit coverage of the
+// cheapest-path reservation itself, and the chaos posture — a pivot budget
+// that truncates every slot must walk the ladder through the DCRoute rung
+// with every admitted file still ending in exactly one terminal counter
+// (accepted + rejected + failed == admitted).
+#include "core/dcroute.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/plan.h"
+#include "core/postcard.h"
+#include "runtime/runtime.h"
+#include "sim/workload.h"
+
+namespace postcard::core {
+namespace {
+
+net::Topology small_topology() {
+  return net::Topology::complete(
+      4, /*capacity=*/100.0,
+      [](int a, int b) { return 1.0 + ((a * 3 + b) % 5); });
+}
+
+net::FileRequest file(int id, int src, int dst, double size, int deadline,
+                      int release = 0) {
+  net::FileRequest f;
+  f.id = id;
+  f.source = src;
+  f.destination = dst;
+  f.size = size;
+  f.max_transfer_slots = deadline;
+  f.release_slot = release;
+  return f;
+}
+
+TEST(DCRoute, RoutesAFileOnOnePathAndThePlanVerifies) {
+  const net::Topology topo = small_topology();
+  charging::ChargeState state{topo.num_links()};
+  FilePlan plan;
+  const net::FileRequest f = file(7, 0, 3, 50.0, 2);
+  ASSERT_EQ(dcroute_route_file(topo, DCRouteOptions{}, f, state, plan),
+            DCRouteResult::kRouted);
+  std::string error;
+  EXPECT_TRUE(verify_plan(plan, f, topo, 1e-9, &error)) << error;
+  // Single-path: every transfer slot uses the same spatial hop sequence,
+  // so all transfers share one (from, to) chain — no branching.
+  EXPECT_EQ(plan.file_id, 7);
+  EXPECT_FALSE(plan.transfers.empty());
+}
+
+TEST(DCRoute, RefusesWhenThePathCannotCarryTheVolume) {
+  const net::Topology topo = net::Topology::complete(
+      3, /*capacity=*/10.0, [](int, int) { return 1.0; });
+  charging::ChargeState state{topo.num_links()};
+  FilePlan plan;
+  // 100 GB through 10 GB/slot links in 2 slots: structurally impossible.
+  const net::FileRequest f = file(1, 0, 2, 100.0, 2);
+  EXPECT_EQ(dcroute_route_file(topo, DCRouteOptions{}, f, state, plan),
+            DCRouteResult::kNoCapacity);
+  EXPECT_TRUE(plan.transfers.empty());
+  // A refusal must leave the charge ledger untouched.
+  EXPECT_EQ(state.cost_per_interval(topo), 0.0);
+}
+
+TEST(DCRoute, SchedulerAccountsEveryFileAndPlansVerify) {
+  sim::WorkloadParams p;
+  p.num_datacenters = 5;
+  p.link_capacity = 60.0;
+  p.files_per_slot_min = 3;
+  p.files_per_slot_max = 8;
+  p.size_min = 10.0;
+  p.size_max = 80.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = 6;
+  p.seed = 5;
+  sim::UniformWorkload w(p);
+
+  DCRouteScheduler scheduler{net::Topology(w.topology())};
+  for (int s = 0; s < w.num_slots(); ++s) {
+    const auto batch = w.batch(s);
+    const auto outcome = scheduler.schedule(s, batch);
+    EXPECT_EQ(outcome.accepted_ids.size() + outcome.rejected_ids.size(),
+              batch.size());
+    EXPECT_EQ(outcome.accepted_ids.size(), scheduler.last_plans().size());
+    for (const FilePlan& plan : scheduler.last_plans()) {
+      const auto it =
+          std::find_if(batch.begin(), batch.end(),
+                       [&](const net::FileRequest& f) {
+                         return f.id == plan.file_id;
+                       });
+      ASSERT_NE(it, batch.end());
+      std::string error;
+      EXPECT_TRUE(verify_plan(plan, *it, w.topology(), 1e-9, &error)) << error;
+    }
+  }
+  EXPECT_GE(scheduler.cost_per_interval(), 0.0);
+}
+
+// ---- Forced degradation through the runtime ladder -----------------------
+
+TEST(DCRouteChaos, TruncatedSlotsWalkTheDCRouteRungFullyAccounted) {
+  sim::WorkloadParams p;
+  p.num_datacenters = 6;
+  p.link_capacity = 100.0;
+  p.files_per_slot_min = 4;
+  p.files_per_slot_max = 8;
+  p.size_min = 10.0;
+  p.size_max = 60.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = 8;
+  p.seed = 33;
+  sim::UniformWorkload w(p);
+
+  // A pivot budget far below what the masters need: every slot truncates
+  // and the leftover files fall to the rungs below.
+  runtime::RuntimeOptions options;
+  options.slot_pivot_budget = 5;
+
+  PostcardOptions with_dcroute;
+  with_dcroute.use_dcroute_rung = true;
+  runtime::ControllerRuntime engine{net::Topology(w.topology()), options};
+  engine.add_postcard_backend(with_dcroute);
+  const runtime::RuntimeStats stats = engine.replay(w);
+
+  ASSERT_EQ(stats.backends.size(), 1u);
+  const runtime::BackendStats& b = stats.backends[0];
+  // The rung genuinely fired...
+  EXPECT_GT(b.rung_dcroute, 0);
+  EXPECT_GT(b.degraded_slots, 0);
+  // ...and the accounting identity holds: every admitted file ended in
+  // exactly one terminal counter.
+  EXPECT_EQ(stats.ingress_rejected, 0);
+  EXPECT_EQ(b.accepted_files + b.rejected_files + b.failed_files,
+            stats.admitted);
+  double offered = 0.0;
+  for (int s = 0; s < w.num_slots(); ++s) {
+    for (const net::FileRequest& f : w.batch(s)) offered += f.size;
+  }
+  EXPECT_NEAR(b.accepted_volume + b.rejected_volume + b.failed_volume,
+              offered, 1e-6);
+}
+
+TEST(DCRouteChaos, RungPlacesFilesTheGreedyChunkerWouldOtherwiseCarry) {
+  // Same forced-truncation run with and without the rung: the DCRoute run
+  // must satisfy the identity too, and files it places come out of the
+  // greedy/carryover pool — total terminal files match.
+  sim::WorkloadParams p;
+  p.num_datacenters = 6;
+  p.link_capacity = 100.0;
+  p.files_per_slot_min = 4;
+  p.files_per_slot_max = 8;
+  p.size_min = 10.0;
+  p.size_max = 60.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = 8;
+  p.seed = 41;
+  sim::UniformWorkload w(p);
+  runtime::RuntimeOptions options;
+  options.slot_pivot_budget = 5;
+
+  runtime::ControllerRuntime plain{net::Topology(w.topology()), options};
+  plain.add_postcard_backend();
+  const runtime::RuntimeStats without = plain.replay(w);
+
+  PostcardOptions with_dcroute;
+  with_dcroute.use_dcroute_rung = true;
+  runtime::ControllerRuntime engine{net::Topology(w.topology()), options};
+  engine.add_postcard_backend(with_dcroute);
+  const runtime::RuntimeStats with = engine.replay(w);
+
+  const runtime::BackendStats& a = without.backends[0];
+  const runtime::BackendStats& b = with.backends[0];
+  EXPECT_EQ(a.rung_dcroute, 0);
+  EXPECT_GT(b.rung_dcroute, 0);
+  EXPECT_EQ(a.accepted_files + a.rejected_files + a.failed_files,
+            without.admitted);
+  EXPECT_EQ(b.accepted_files + b.rejected_files + b.failed_files,
+            with.admitted);
+  EXPECT_EQ(without.admitted, with.admitted);
+}
+
+}  // namespace
+}  // namespace postcard::core

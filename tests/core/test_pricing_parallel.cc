@@ -1,0 +1,126 @@
+// Parallel pricing determinism: sharding the per-file pricing DP across a
+// worker pool must reproduce the serial sweep bit for bit — same cost
+// series, same per-slot simplex iteration counts, same admissions — at any
+// thread count. The merge is file-index-ordered and shards write disjoint
+// slots, so the only way this fails is a real data race or a
+// non-deterministic merge; running it under TSAN (ctest -L scale on the
+// tsan preset) checks exactly that.
+//
+// Two shapes: the paper's Fig. 4 shape (small — below the sharding
+// work gate, pinning that the gate itself cannot change results) and a
+// fat_tree(6) at 180 arrivals/slot, which clears the gate so the pool
+// genuinely runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/postcard.h"
+#include "net/generators.h"
+#include "sim/workload.h"
+
+namespace postcard::core {
+namespace {
+
+struct SlotTrace {
+  std::vector<double> cost;       // cost_per_interval after each slot
+  std::vector<long> iterations;   // lp_iterations per slot
+  std::vector<std::size_t> accepted;
+};
+
+SlotTrace run(const sim::WorkloadGenerator& workload, PostcardOptions options,
+              int slots) {
+  PostcardController controller{net::Topology(workload.topology()), options};
+  SlotTrace t;
+  for (int s = 0; s < slots; ++s) {
+    const auto outcome = controller.schedule(s, workload.batch(s));
+    t.cost.push_back(controller.cost_per_interval());
+    t.iterations.push_back(outcome.lp_iterations);
+    t.accepted.push_back(outcome.accepted_ids.size());
+  }
+  return t;
+}
+
+void expect_identical(const SlotTrace& serial, const SlotTrace& parallel) {
+  ASSERT_EQ(serial.cost.size(), parallel.cost.size());
+  for (std::size_t s = 0; s < serial.cost.size(); ++s) {
+    // Bit-for-bit: the deterministic-replay contract, not a tolerance.
+    EXPECT_EQ(serial.cost[s], parallel.cost[s]) << "slot " << s;
+    EXPECT_EQ(serial.iterations[s], parallel.iterations[s]) << "slot " << s;
+    EXPECT_EQ(serial.accepted[s], parallel.accepted[s]) << "slot " << s;
+  }
+}
+
+TEST(ParallelPricing, Fig4ShapeMatchesSerialExactly) {
+  sim::WorkloadParams p;
+  p.num_datacenters = 6;
+  p.link_capacity = 400.0;
+  p.files_per_slot_min = 8;
+  p.files_per_slot_max = 20;
+  p.size_min = 10.0;
+  p.size_max = 100.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = 10;
+  p.seed = 17;
+  sim::UniformWorkload w(p);
+
+  PostcardOptions serial;
+  PostcardOptions parallel = serial;
+  parallel.pricing_threads = 4;
+  expect_identical(run(w, serial, p.num_slots),
+                   run(w, parallel, p.num_slots));
+}
+
+TEST(ParallelPricing, FatTree6AboveWorkGateMatchesSerialExactly) {
+  sim::WorkloadParams p;
+  p.link_capacity = 100.0;
+  p.files_per_slot_min = 180;  // 180 files x ~1.5k arcs clears the gate
+  p.files_per_slot_max = 180;
+  p.size_min = 10.0;
+  p.size_max = 50.0;
+  p.deadline_min = 4;  // Fat-Tree diameter
+  p.deadline_max = 6;
+  p.num_slots = 2;
+  p.seed = 11;
+  sim::TopologyWorkload w(
+      net::fat_tree(6, p.link_capacity,
+                    [](int a, int b) {
+                      return 1.0 + ((a * 131 + b * 17) % 90) / 10.0;
+                    }),
+      p);
+
+  // The solver hot-path configuration: factorization reuse and dual warm
+  // starts on, so the resumed masters consume the parallel merge too.
+  PostcardOptions serial;
+  serial.cg_reuse_factorization = true;
+  serial.cg_dual_warm = true;
+  PostcardOptions parallel = serial;
+  parallel.pricing_threads = 4;
+  expect_identical(run(w, serial, p.num_slots),
+                   run(w, parallel, p.num_slots));
+}
+
+TEST(ParallelPricing, ThreadCountsAgreeAmongThemselves) {
+  // 2 and 8 shards chunk the file range differently; both must match.
+  sim::WorkloadParams p;
+  p.num_datacenters = 6;
+  p.link_capacity = 400.0;
+  p.files_per_slot_min = 8;
+  p.files_per_slot_max = 20;
+  p.size_min = 10.0;
+  p.size_max = 100.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = 4;
+  p.seed = 23;
+  sim::UniformWorkload w(p);
+  PostcardOptions two;
+  two.pricing_threads = 2;
+  PostcardOptions eight;
+  eight.pricing_threads = 8;
+  expect_identical(run(w, two, p.num_slots), run(w, eight, p.num_slots));
+}
+
+}  // namespace
+}  // namespace postcard::core

@@ -113,6 +113,61 @@ TEST(SparseMatrix, TransposeAgreesWithMultiply) {
   }
 }
 
+// append_columns must produce exactly the matrix from_triplets builds over
+// the full triplet set — same canonical structure, same arrays — so the
+// incremental LP-master path is indistinguishable from a rebuild.
+TEST(SparseMatrix, AppendColumnsMatchesFromTriplets) {
+  const std::vector<Triplet> head = {
+      {0, 0, 1.0}, {2, 0, -2.0}, {1, 1, 3.0}};
+  const std::vector<Triplet> tail = {
+      {2, 2, 5.0}, {0, 2, 4.0},              // unsorted rows within the column
+      {1, 3, 1.5}, {1, 3, 0.5},              // duplicate coordinates: summed
+      {0, 4, 2.0}, {0, 4, -2.0}, {2, 4, 7.0}  // cancelling pair: dropped
+  };
+  auto grown = SparseMatrix::from_triplets(3, 2, head);
+  grown.append_columns(3, tail);
+
+  std::vector<Triplet> all = head;
+  all.insert(all.end(), tail.begin(), tail.end());
+  const auto rebuilt = SparseMatrix::from_triplets(3, 5, all);
+
+  EXPECT_EQ(grown.rows(), rebuilt.rows());
+  EXPECT_EQ(grown.cols(), rebuilt.cols());
+  EXPECT_EQ(grown.col_ptr(), rebuilt.col_ptr());
+  EXPECT_EQ(grown.row_idx(), rebuilt.row_idx());
+  EXPECT_EQ(grown.values(), rebuilt.values());
+}
+
+TEST(SparseMatrix, AppendColumnsHonorsFirstOffset) {
+  // The LP model keeps one append-only triplet list; append_columns is told
+  // where the new entries start and must ignore everything before.
+  const std::vector<Triplet> log = {
+      {0, 0, 1.0}, {1, 1, 2.0},  // already folded into the matrix
+      {2, 2, 3.0}, {0, 2, 1.0}   // the appended column
+  };
+  auto grown = SparseMatrix::from_triplets(3, 2,
+                                           {log.begin(), log.begin() + 2});
+  grown.append_columns(1, log, 2);
+  const auto rebuilt = SparseMatrix::from_triplets(3, 3, log);
+  EXPECT_EQ(grown.col_ptr(), rebuilt.col_ptr());
+  EXPECT_EQ(grown.row_idx(), rebuilt.row_idx());
+  EXPECT_EQ(grown.values(), rebuilt.values());
+}
+
+TEST(SparseMatrix, AppendZeroColumnsIsStructural) {
+  auto m = SparseMatrix::from_triplets(2, 1, {{0, 0, 1.0}});
+  m.append_columns(2, {});  // two empty columns, no entries
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nonzeros(), 1);
+  EXPECT_EQ(m.col_end(2), m.col_begin(1));
+}
+
+TEST(SparseMatrix, AppendColumnsRejectsEntriesInExistingColumns) {
+  auto m = SparseMatrix::from_triplets(2, 2, {{0, 0, 1.0}});
+  EXPECT_THROW(m.append_columns(1, {{1, 0, 2.0}}), std::out_of_range);
+  EXPECT_THROW(m.append_columns(1, {{1, 3, 2.0}}), std::out_of_range);
+}
+
 TEST(DenseHelpers, DotAxpyNorms) {
   Vector x = {1.0, 2.0, -2.0};
   Vector y = {3.0, 0.0, 1.0};
