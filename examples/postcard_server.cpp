@@ -6,17 +6,26 @@
 //
 //   ./build/examples/postcard_server [--port P] [--snapshot FILE]
 //                                    [--slot-ms MS] [--snapshot-every N]
+//                                    [--repl-listen P]
 //
 // Defaults: ephemeral port (printed on stdout), snapshot to
 // ./postcard_server.psnp, slots advance every 2000 ms, periodic snapshot
 // every 10 slots. Talk to it with examples/postcard_client.
+//
+// --repl-listen P makes the server a replication PRIMARY: a standby
+// (examples/postcard_standby) connecting to port P is seeded with a
+// snapshot and then follows the committed event log slot by slot, ready
+// to take over if this process dies (DESIGN.md §14). Replication needs
+// the deterministic runtime, which these options already are.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <thread>
 
+#include "replication/primary.h"
 #include "server/server.h"
 #include "server/snapshot.h"
 
@@ -44,6 +53,7 @@ int main(int argc, char** argv) {
   options.snapshot_path = "postcard_server.psnp";
   options.slot_every_ms = 2000;
   options.snapshot_every_slots = 10;
+  int repl_port = -1;  // -1: replication off; 0: ephemeral
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--port") == 0) {
       options.port = std::atoi(argv[i + 1]);
@@ -53,11 +63,16 @@ int main(int argc, char** argv) {
       options.slot_every_ms = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--snapshot-every") == 0) {
       options.snapshot_every_slots = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--repl-listen") == 0) {
+      repl_port = std::atoi(argv[i + 1]);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
     }
   }
+  // A standby rejects a primary whose submissions are not deduplicated:
+  // idempotent resubmission across a failover depends on it.
+  if (repl_port >= 0) options.runtime.dedup_submissions = true;
 
   // Six datacenters, complete graph, 100 GB per slot per link, unit costs
   // 1..10 — the Fig. 4 shape the offline examples use.
@@ -67,6 +82,16 @@ int main(int argc, char** argv) {
 
   server::PostcardServer server{std::move(topology), options};
   server.add_postcard_backend();
+
+  // The primary must be attached BEFORE the server starts so its event
+  // tap sees every submission from the first byte on.
+  std::unique_ptr<replication::ReplicationPrimary> primary;
+  if (repl_port >= 0) {
+    replication::PrimaryOptions popts;
+    popts.port = repl_port;
+    primary = std::make_unique<replication::ReplicationPrimary>(popts);
+    primary->attach(server);
+  }
 
   // Crash-restart: a snapshot on disk means a previous incarnation was
   // killed; resume its slot clock, ledgers and in-flight plans. The
@@ -81,10 +106,14 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
 
   server.start();
+  if (primary) primary->start();
   std::printf("postcard_server listening on port %d (snapshot: %s)\n",
               server.port(),
               options.snapshot_path.empty() ? "disabled"
                                             : options.snapshot_path.c_str());
+  if (primary) {
+    std::printf("replicating to standbys on port %d\n", primary->port());
+  }
   std::fflush(stdout);
 
   // Main thread parks until a signal or a protocol Shutdown drains the
@@ -97,6 +126,7 @@ int main(int argc, char** argv) {
     server.request_shutdown();
   }
   server.wait();
+  if (primary) primary->stop();
 
   const runtime::RuntimeStats stats = server.stats();
   std::printf("drained after %d slots: %ld sessions, %ld submits "

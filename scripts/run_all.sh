@@ -20,7 +20,7 @@ ctest --test-dir build --output-on-failure -j "${JOBS}" 2>&1 | tee test_output.t
 # degradation ladder).
 cmake --preset tsan
 cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan -L "runtime|chaos|server|scale" --output-on-failure \
+ctest --test-dir build-tsan -L "runtime|chaos|server|scale|replication" --output-on-failure \
   -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 # Memory-safety pass: ASan + UBSan (fail-fast on UB) over the charging
@@ -28,7 +28,7 @@ ctest --test-dir build-tsan -L "runtime|chaos|server|scale" --output-on-failure 
 # pointer structures (the order-statistic treap) and cross-thread handoff.
 cmake --preset asan
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan -L "charging|runtime|chaos|audit|server|scale" \
+ctest --test-dir build-asan -L "charging|runtime|chaos|audit|server|scale|replication" \
   --output-on-failure -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 # Standalone UBSan pass (works under GCC; +float-divide-by-zero, which the
@@ -36,7 +36,7 @@ ctest --test-dir build-asan -L "charging|runtime|chaos|audit|server|scale" \
 # kernels, and the plan-audit suites.
 cmake --preset ubsan
 cmake --build build-ubsan -j "${JOBS}"
-ctest --test-dir build-ubsan -L "charging|runtime|chaos|lp|audit|server|scale" \
+ctest --test-dir build-ubsan -L "charging|runtime|chaos|lp|audit|server|scale|replication" \
   --output-on-failure -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
 # Static-analysis gate: clang thread-safety analysis + clang-tidy. Skips

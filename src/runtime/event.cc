@@ -8,10 +8,23 @@ int event_phase(const EventPayload& payload) {
   return 0;  // LinkDown / LinkUp / CapacityChange / SolverStall / SolverFault
 }
 
+void EventQueue::set_push_tap(PushTap tap) {
+  base::MutexLock lock(mu_);
+  tap_ = std::move(tap);
+}
+
 std::uint64_t EventQueue::push(int slot, EventPayload payload) {
   base::MutexLock lock(mu_);
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{slot, event_phase(payload), seq, std::move(payload)});
+  const int phase = event_phase(payload);
+  if (tap_) {
+    // The tap sees the payload before the heap consumes it; holding mu_
+    // keeps the tap's observation order identical to the seq order.
+    heap_.push(Entry{slot, phase, seq, payload});
+    tap_(Event{slot, seq, std::move(payload)});
+  } else {
+    heap_.push(Entry{slot, phase, seq, std::move(payload)});
+  }
   return seq;
 }
 
@@ -41,8 +54,9 @@ std::uint64_t EventQueue::pushed_total() const {
   return next_seq_;
 }
 
-std::vector<Event> EventQueue::pending() const {
+std::vector<Event> EventQueue::pending(std::uint64_t* next_seq_out) const {
   base::MutexLock lock(mu_);
+  if (next_seq_out != nullptr) *next_seq_out = next_seq_;
   std::vector<Event> events;
   events.reserve(heap_.size());
   // priority_queue hides its container; drain a copy to read it in order.

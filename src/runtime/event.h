@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <variant>
 #include <vector>
@@ -93,6 +94,14 @@ struct Event {
 /// submission history.
 class EventQueue {
  public:
+  /// Observer invoked under the queue lock for every push, with the
+  /// assigned sequence number. The replication primary taps pushes here to
+  /// ship them to its standby in exactly the order determinism depends on.
+  /// The tap must be cheap and must not re-enter the queue; install it
+  /// before any producer exists, uninstall by passing nullptr.
+  using PushTap = std::function<void(const Event&)>;
+  void set_push_tap(PushTap tap) EXCLUDES(mu_);
+
   /// Enqueues `payload` to fire at `slot`; returns its sequence number.
   std::uint64_t push(int slot, EventPayload payload) EXCLUDES(mu_);
 
@@ -110,7 +119,13 @@ class EventQueue {
   /// snapshot path serializes these so a restored runtime replays future
   /// arrivals and scheduled failures identically. O(n log n) copy; callers
   /// are quiescent (the driver between ticks), not the hot path.
-  std::vector<Event> pending() const EXCLUDES(mu_);
+  /// When `next_seq_out` is non-null it receives the queue's next sequence
+  /// number, captured under the same lock: every push with seq below the
+  /// watermark is either drained (its effect is in the runtime state) or
+  /// inside the returned pending set, never both — the replication primary
+  /// uses this to filter its buffered pushes after shipping a snapshot.
+  std::vector<Event> pending(std::uint64_t* next_seq_out = nullptr) const
+      EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -130,6 +145,7 @@ class EventQueue {
   mutable base::Mutex mu_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_ GUARDED_BY(mu_);
   std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  PushTap tap_ GUARDED_BY(mu_);
 };
 
 }  // namespace postcard::runtime

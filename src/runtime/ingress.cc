@@ -26,6 +26,11 @@ AdmissionResult RequestIngress::submit(const net::FileRequest& file) {
   std::string reason;
   {
     base::MutexLock lock(mu_);
+    if (dedup_ && admitted_ids_.count(file.id) > 0) {
+      result.admitted = true;
+      result.duplicate = true;
+      return result;
+    }
     try {
       net::validate(file, topology_);
       const double deadline = static_cast<double>(file.max_transfer_slots);
@@ -55,9 +60,39 @@ AdmissionResult RequestIngress::submit(const net::FileRequest& file) {
       std::max(stamped.release_slot, now_.load(std::memory_order_relaxed));
   queue_.push(stamped.release_slot, FileArrival{stamped});
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    base::MutexLock lock(mu_);
+    if (dedup_) admitted_ids_.insert(stamped.id);
+  }
   result.admitted = true;
   result.slot = stamped.release_slot;
   return result;
+}
+
+void RequestIngress::enable_dedup() {
+  base::MutexLock lock(mu_);
+  dedup_ = true;
+}
+
+void RequestIngress::replicate_admit(const net::FileRequest& stamped) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queue_.push(stamped.release_slot, FileArrival{stamped});
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  base::MutexLock lock(mu_);
+  if (dedup_) admitted_ids_.insert(stamped.id);
+}
+
+std::vector<int> RequestIngress::admitted_ids() const {
+  base::MutexLock lock(mu_);
+  std::vector<int> ids(admitted_ids_.begin(), admitted_ids_.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void RequestIngress::restore_admitted_ids(const std::vector<int>& ids) {
+  base::MutexLock lock(mu_);
+  admitted_ids_.clear();
+  admitted_ids_.insert(ids.begin(), ids.end());
 }
 
 void RequestIngress::set_link_capacity(int link, double capacity) {

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "base/mutex.h"
@@ -34,6 +35,7 @@ struct AdmissionResult {
   bool admitted = false;
   int slot = -1;        // slot whose batch the file joined (admitted only)
   std::string reason;   // human-readable rejection cause
+  bool duplicate = false;  // dedup hit: already admitted, not re-enqueued
 };
 
 class RequestIngress {
@@ -45,6 +47,27 @@ class RequestIngress {
   /// Thread-safe: admits or rejects `file`. Admitted files are pushed into
   /// the event queue as FileArrival events.
   AdmissionResult submit(const net::FileRequest& file) EXCLUDES(mu_);
+
+  /// Enables idempotent submission: a submit whose id was already admitted
+  /// returns {admitted=true, duplicate=true, slot=-1} without re-enqueuing
+  /// or re-counting, so a client retrying across a failover applies its
+  /// file exactly once. Ids are reserved only on *admit* — a rejected id
+  /// may be retried (e.g. after a link recovers). Call before producers
+  /// exist; off by default because callers may legitimately reuse ids.
+  void enable_dedup() EXCLUDES(mu_);
+
+  /// Replication replay: applies an already-stamped admission from the
+  /// primary without re-validating or re-stamping (re-running the
+  /// admission test against the standby's capacity view could diverge).
+  /// Bumps submitted/admitted, registers the id for dedup, and pushes the
+  /// FileArrival exactly as the primary's queue saw it.
+  void replicate_admit(const net::FileRequest& stamped) EXCLUDES(mu_);
+
+  /// Admitted-id set in sorted order, for deterministic snapshot bytes.
+  std::vector<int> admitted_ids() const EXCLUDES(mu_);
+
+  /// Snapshot restore counterpart of admitted_ids(). Quiescent use only.
+  void restore_admitted_ids(const std::vector<int>& ids) EXCLUDES(mu_);
 
   /// Mirrors a network event into the admission capacity view.
   void set_link_capacity(int link, double capacity) EXCLUDES(mu_);
@@ -76,6 +99,8 @@ class RequestIngress {
   std::vector<double> egress_ GUARDED_BY(mu_);   // live egress per datacenter
   std::vector<double> ingress_ GUARDED_BY(mu_);  // live ingress per datacenter
   double rejected_volume_ GUARDED_BY(mu_) = 0.0;
+  bool dedup_ GUARDED_BY(mu_) = false;
+  std::unordered_set<int> admitted_ids_ GUARDED_BY(mu_);
 };
 
 }  // namespace postcard::runtime

@@ -46,6 +46,7 @@ ControllerRuntime::ControllerRuntime(net::Topology topology,
     base_capacity_.push_back(l.capacity);
   }
   link_down_.assign(static_cast<std::size_t>(live_topology_.num_links()), false);
+  if (options_.dedup_submissions) ingress_.enable_dedup();
 }
 
 ControllerRuntime::~ControllerRuntime() = default;
@@ -753,7 +754,8 @@ RuntimeSnapshot ControllerRuntime::capture_snapshot() const {
   snap.admitted = ingress_.admitted();
   snap.ingress_rejected = ingress_.rejected();
   snap.ingress_rejected_volume = ingress_.rejected_volume();
-  snap.pending_events = queue_.pending();
+  snap.admitted_ids = ingress_.admitted_ids();
+  snap.pending_events = queue_.pending(&snap.event_seq_watermark);
   {
     base::MutexLock lock(stats_mu_);
     snap.slots_processed = slots_processed_;
@@ -888,6 +890,7 @@ void ControllerRuntime::restore_snapshot(const RuntimeSnapshot& snap) {
   ingress_.restore_counters(snap.submitted, snap.admitted,
                             snap.ingress_rejected,
                             snap.ingress_rejected_volume);
+  ingress_.restore_admitted_ids(snap.admitted_ids);
   ingress_.set_now(next_slot_);
   // pending() captured drain order; re-pushing in that order reassigns
   // fresh sequence numbers with the same relative ordering.

@@ -92,6 +92,11 @@ struct RuntimeOptions {
   /// and the audit's cost is a few percent of a slot solve. Set
   /// audit.mode = kOff to benchmark the bare solver.
   sim::AuditControls audit{sim::AuditControls::Mode::kFailFast};
+  /// Idempotent submissions: a SubmitFile whose id was already admitted is
+  /// acknowledged without re-enqueuing (AdmissionResult.duplicate). Needed
+  /// for exactly-once client retry across a replicated-controller failover;
+  /// off by default because standalone callers may legitimately reuse ids.
+  bool dedup_submissions = false;
 };
 
 class ControllerRuntime {

@@ -11,6 +11,7 @@
 // remaining cost series bit for bit (tested in tests/server).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -100,6 +101,17 @@ struct RuntimeSnapshot {
   long admitted = 0;
   long ingress_rejected = 0;
   double ingress_rejected_volume = 0.0;
+
+  // Idempotent-submission dedup set (sorted for deterministic bytes);
+  // empty unless RuntimeOptions::dedup_submissions. Carried so a retry
+  // that lands after a failover is still recognized as a duplicate.
+  std::vector<int> admitted_ids;
+
+  // Event-queue sequence watermark at capture time: every push with
+  // seq < watermark is either drained into the state above or inside
+  // pending_events. The replication primary filters its tapped push
+  // buffer against this after shipping a snapshot.
+  std::uint64_t event_seq_watermark = 0;
 
   // Events still queued at capture time (future arrivals, scheduled
   // failures, armed chaos), in drain order.

@@ -152,6 +152,7 @@ struct ServerCounters {
   long protocol_errors = 0;     // malformed frames; each closes its session
   long snapshots_written = 0;
   long slots_advanced = 0;      // slots ticked by AdvanceSlot commands/timer
+  long sessions_reaped = 0;     // idle/stalled sessions closed by the reaper
 };
 
 /// Snapshot of the whole engine; see ControllerRuntime::stats().

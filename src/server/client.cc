@@ -4,12 +4,13 @@
 #include <cerrno>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace postcard::server {
 
 PostcardClient::PostcardClient(const std::string& host, int port,
-                               std::size_t max_frame_bytes)
+                               std::size_t max_frame_bytes, int io_timeout_ms)
     : max_frame_bytes_(max_frame_bytes) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
@@ -29,6 +30,13 @@ PostcardClient::PostcardClient(const std::string& host, int port,
     fd_ = -1;
     throw WireError("connect to " + host + ":" + std::to_string(port) +
                     " failed: errno " + std::to_string(err));
+  }
+  if (io_timeout_ms > 0) {
+    struct timeval tv;
+    tv.tv_sec = io_timeout_ms / 1000;
+    tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
 }
 

@@ -15,9 +15,15 @@ namespace postcard::server {
 
 class PostcardClient {
  public:
-  /// Connects immediately; throws WireError on failure.
+  /// Connects immediately; throws WireError on failure. With
+  /// `io_timeout_ms > 0` every send/recv on the connection carries that
+  /// deadline (SO_RCVTIMEO/SO_SNDTIMEO), surfacing as WireTimeout — the
+  /// failover client uses this so a dead primary fails a call in bounded
+  /// time instead of blocking forever. 0 keeps the historical fully
+  /// blocking behavior.
   PostcardClient(const std::string& host, int port,
-                 std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+                 std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                 int io_timeout_ms = 0);
   ~PostcardClient();
 
   PostcardClient(const PostcardClient&) = delete;

@@ -76,6 +76,7 @@ std::string format_metrics(const runtime::RuntimeStats& s) {
   line(os, "postcard_server_protocol_errors", s.server.protocol_errors);
   line(os, "postcard_server_snapshots_written", s.server.snapshots_written);
   line(os, "postcard_server_slots_advanced", s.server.slots_advanced);
+  line(os, "postcard_server_sessions_reaped", s.server.sessions_reaped);
 
   for (const runtime::BackendStats& b : s.backends) {
     backend_line(os, "postcard_backend_accepted_files", b.name,

@@ -7,7 +7,8 @@ namespace {
 // Conservative per-element minimum sizes for ByteReader::length checks.
 constexpr std::size_t kFileRequestBytes = 4 * 4 + 8;  // 4 ints + 1 double
 constexpr std::size_t kTransferBytes = 4 * 4 + 8;
-constexpr std::size_t kVerdictMinBytes = 1 + 4 + 4;  // flag, slot, empty str
+// flag, slot, empty str, duplicate flag
+constexpr std::size_t kVerdictMinBytes = 1 + 4 + 4 + 1;
 
 template <typename Struct, typename DecodeBody>
 Struct decode_payload(const std::vector<std::uint8_t>& payload,
@@ -22,6 +23,7 @@ void encode_verdict(ByteWriter& w, const SubmitVerdict& v) {
   w.boolean(v.admitted);
   w.i32(v.slot);
   w.str(v.reason);
+  w.boolean(v.duplicate);
 }
 
 SubmitVerdict decode_verdict(ByteReader& r) {
@@ -29,8 +31,22 @@ SubmitVerdict decode_verdict(ByteReader& r) {
   v.admitted = r.boolean();
   v.slot = r.i32();
   v.reason = r.str();
+  v.duplicate = r.boolean();
   return v;
 }
+
+// Event payload discriminants, shared by the snapshot file and the
+// replication stream. Kept independent of the std::variant index so
+// reordering EventPayload alternatives cannot silently change the format.
+enum class EventTag : std::uint8_t {
+  kLinkDown = 0,
+  kLinkUp = 1,
+  kCapacityChange = 2,
+  kFileArrival = 3,
+  kSlotTick = 4,
+  kSolverStall = 5,
+  kSolverFault = 6,
+};
 
 }  // namespace
 
@@ -224,8 +240,88 @@ void encode_runtime_stats(ByteWriter& w, const runtime::RuntimeStats& s) {
   w.i64(s.server.protocol_errors);
   w.i64(s.server.snapshots_written);
   w.i64(s.server.slots_advanced);
+  w.i64(s.server.sessions_reaped);
   w.u32(static_cast<std::uint32_t>(s.backends.size()));
   for (const runtime::BackendStats& b : s.backends) encode_backend_stats(w, b);
+}
+
+void encode_event(ByteWriter& w, const runtime::Event& e) {
+  w.i32(e.slot);
+  w.u64(e.seq);
+  if (const auto* d = std::get_if<runtime::LinkDown>(&e.payload)) {
+    w.u8(static_cast<std::uint8_t>(EventTag::kLinkDown));
+    w.i32(d->link);
+  } else if (const auto* u = std::get_if<runtime::LinkUp>(&e.payload)) {
+    w.u8(static_cast<std::uint8_t>(EventTag::kLinkUp));
+    w.i32(u->link);
+  } else if (const auto* c =
+                 std::get_if<runtime::CapacityChange>(&e.payload)) {
+    w.u8(static_cast<std::uint8_t>(EventTag::kCapacityChange));
+    w.i32(c->link);
+    w.f64(c->capacity);
+  } else if (const auto* a = std::get_if<runtime::FileArrival>(&e.payload)) {
+    w.u8(static_cast<std::uint8_t>(EventTag::kFileArrival));
+    encode_file_request(w, a->file);
+  } else if (const auto* t = std::get_if<runtime::SlotTick>(&e.payload)) {
+    w.u8(static_cast<std::uint8_t>(EventTag::kSlotTick));
+    w.i32(t->slot);
+  } else if (const auto* s = std::get_if<runtime::SolverStall>(&e.payload)) {
+    w.u8(static_cast<std::uint8_t>(EventTag::kSolverStall));
+    w.i32(s->backend);
+    w.i64(s->pivot_budget);
+  } else if (const auto* f = std::get_if<runtime::SolverFault>(&e.payload)) {
+    w.u8(static_cast<std::uint8_t>(EventTag::kSolverFault));
+    w.i32(f->backend);
+    w.i32(f->disable_rungs);
+  } else {
+    throw WireError("unknown event payload variant");
+  }
+}
+
+runtime::Event decode_event(ByteReader& r) {
+  runtime::Event e;
+  e.slot = r.i32();
+  e.seq = r.u64();
+  const auto tag = static_cast<EventTag>(r.u8());
+  switch (tag) {
+    case EventTag::kLinkDown:
+      e.payload = runtime::LinkDown{r.i32()};
+      break;
+    case EventTag::kLinkUp:
+      e.payload = runtime::LinkUp{r.i32()};
+      break;
+    case EventTag::kCapacityChange: {
+      runtime::CapacityChange c;
+      c.link = r.i32();
+      c.capacity = r.f64();
+      e.payload = c;
+      break;
+    }
+    case EventTag::kFileArrival:
+      e.payload = runtime::FileArrival{decode_file_request(r)};
+      break;
+    case EventTag::kSlotTick:
+      e.payload = runtime::SlotTick{r.i32()};
+      break;
+    case EventTag::kSolverStall: {
+      runtime::SolverStall s;
+      s.backend = r.i32();
+      s.pivot_budget = r.i64();
+      e.payload = s;
+      break;
+    }
+    case EventTag::kSolverFault: {
+      runtime::SolverFault f;
+      f.backend = r.i32();
+      f.disable_rungs = r.i32();
+      e.payload = f;
+      break;
+    }
+    default:
+      throw WireError("unknown event tag " +
+                      std::to_string(static_cast<int>(tag)));
+  }
+  return e;
 }
 
 runtime::RuntimeStats decode_runtime_stats(ByteReader& r) {
@@ -254,6 +350,7 @@ runtime::RuntimeStats decode_runtime_stats(ByteReader& r) {
   s.server.protocol_errors = r.i64();
   s.server.snapshots_written = r.i64();
   s.server.slots_advanced = r.i64();
+  s.server.sessions_reaped = r.i64();
   const std::size_t backends = r.length(4);
   s.backends.reserve(backends);
   for (std::size_t i = 0; i < backends; ++i) {

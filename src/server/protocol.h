@@ -15,6 +15,7 @@
 
 #include "core/plan.h"
 #include "net/file_request.h"
+#include "runtime/event.h"
 #include "runtime/stats.h"
 #include "server/wire.h"
 
@@ -39,6 +40,12 @@ runtime::BackendStats decode_backend_stats(ByteReader& r);
 /// reports. Used by both the StatsReply frame and `--metrics-dump`.
 void encode_runtime_stats(ByteWriter& w, const runtime::RuntimeStats& s);
 runtime::RuntimeStats decode_runtime_stats(ByteReader& r);
+
+/// Runtime-event codec, shared by the snapshot pending-event section and
+/// the replication kReplEvents stream — one byte layout, so an event round
+/// trips identically whether it travels in a PSNP file or on the wire.
+void encode_event(ByteWriter& w, const runtime::Event& e);
+runtime::Event decode_event(ByteReader& r);
 
 // --- Requests ------------------------------------------------------------
 
@@ -85,6 +92,10 @@ struct SubmitVerdict {
   bool admitted = false;
   int slot = 0;  // release slot the file was scheduled into, if admitted
   std::string reason;
+  // Dedup hit (RuntimeOptions::dedup_submissions): the id was already
+  // admitted, nothing was re-enqueued. admitted stays true so a retrying
+  // client treats the resubmission as success.
+  bool duplicate = false;
 };
 
 struct SubmitReply {

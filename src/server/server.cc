@@ -7,6 +7,7 @@
 #include <iostream>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "server/protocol.h"
@@ -146,6 +147,7 @@ runtime::RuntimeStats PostcardServer::stats() const {
   s.server.snapshots_written =
       snapshots_written_.load(std::memory_order_relaxed);
   s.server.slots_advanced = slots_advanced_.load(std::memory_order_relaxed);
+  s.server.sessions_reaped = sessions_reaped_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -161,6 +163,14 @@ void PostcardServer::accept_loop() {
     if (shutdown_requested_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
+    }
+    if (options_.session_idle_timeout_ms > 0) {
+      // Arm the idle reaper: recv() on this session returns EAGAIN after
+      // the deadline, which read_exact maps to WireTimeout.
+      struct timeval tv;
+      tv.tv_sec = options_.session_idle_timeout_ms / 1000;
+      tv.tv_usec = (options_.session_idle_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     }
     auto session = std::make_unique<Session>();
     session->fd = fd;
@@ -193,6 +203,11 @@ void PostcardServer::session_loop(Session* session) {
       frames_received_.fetch_add(1, std::memory_order_relaxed);
       if (!handle_frame(fd, frame)) break;
     }
+  } catch (const WireTimeout&) {
+    // Idle-session reaper: the peer sent nothing (or stalled mid-frame)
+    // for session_idle_timeout_ms. Not a protocol violation — close
+    // quietly without an Error frame and free the thread.
+    sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
   } catch (const WireError& e) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     std::cerr << "postcard_server: closing session: " << e.what() << "\n";
@@ -226,8 +241,13 @@ bool PostcardServer::handle_frame(int fd, const Frame& frame) {
       out.verdict.admitted = result.admitted;
       out.verdict.slot = result.slot;
       out.verdict.reason = result.reason;
+      out.verdict.duplicate = result.duplicate;
       if (result.admitted) {
-        submit_admitted_.fetch_add(1, std::memory_order_relaxed);
+        // A dedup hit is acknowledged as success but is not a fresh
+        // admission — submit_admitted counts files entering the system.
+        if (!result.duplicate) {
+          submit_admitted_.fetch_add(1, std::memory_order_relaxed);
+        }
         reply(fd, MessageType::kSubmitReply, out.encode());
       } else {
         backpressure_replies_.fetch_add(1, std::memory_order_relaxed);
@@ -252,8 +272,11 @@ bool PostcardServer::handle_frame(int fd, const Frame& frame) {
         v.admitted = result.admitted;
         v.slot = result.slot;
         v.reason = result.reason;
+        v.duplicate = result.duplicate;
         if (result.admitted) {
-          submit_admitted_.fetch_add(1, std::memory_order_relaxed);
+          if (!result.duplicate) {
+            submit_admitted_.fetch_add(1, std::memory_order_relaxed);
+          }
         } else {
           backpressure_replies_.fetch_add(1, std::memory_order_relaxed);
         }
@@ -368,6 +391,10 @@ std::string PostcardServer::run_command(Command& cmd) {
         for (int i = 0; i < cmd.slots; ++i) {
           runtime_.tick();
           slots_advanced_.fetch_add(1, std::memory_order_relaxed);
+          // Replication: ship the committed slot (events + fingerprint)
+          // at exactly the commit boundary, before anything else can
+          // interleave with the next tick.
+          if (post_tick_hook_) post_tick_hook_(runtime_.current_slot() - 1);
           if (options_.snapshot_every_slots > 0 &&
               !options_.snapshot_path.empty() &&
               runtime_.current_slot() % options_.snapshot_every_slots == 0) {

@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <string>
 #include <thread>
@@ -55,6 +56,13 @@ struct ServerOptions {
   /// Upper bound on files in one SubmitBatch frame.
   std::size_t max_batch_files = 100000;
   int listen_backlog = 64;
+  /// Per-session read deadline in milliseconds (SO_RCVTIMEO on the session
+  /// socket). A peer that sends nothing for this long — stalled, half-open,
+  /// or gone without a FIN — is reaped: the session closes quietly and
+  /// bumps sessions_reaped, freeing the thread instead of pinning it
+  /// forever. 0 disables (sessions block indefinitely, the historical
+  /// behavior tests rely on).
+  int session_idle_timeout_ms = 0;
 };
 
 class PostcardServer {
@@ -74,6 +82,16 @@ class PostcardServer {
   /// backend registration sequence must match the captured server's.
   /// Throws WireError / std::invalid_argument on a bad file or mismatch.
   void restore_from(const std::string& snapshot_path);
+
+  /// Called on the driver thread after every completed tick (explicit
+  /// AdvanceSlot and auto-ticks alike) with the slot just committed. The
+  /// replication primary hooks here to ship the slot's events and its
+  /// divergence fingerprint at exactly the commit boundary. Install before
+  /// start(); the hook must not call back into the runtime's driver-only
+  /// API (it already runs on the driver).
+  void set_post_tick_hook(std::function<void(int)> hook) {
+    post_tick_hook_ = std::move(hook);
+  }
 
   // --- Lifecycle ---------------------------------------------------------
 
@@ -139,6 +157,7 @@ class PostcardServer {
 
   ServerOptions options_;
   runtime::ControllerRuntime runtime_;
+  std::function<void(int)> post_tick_hook_;  // driver thread only
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> started_{false};
@@ -168,6 +187,7 @@ class PostcardServer {
   std::atomic<long> protocol_errors_{0};
   std::atomic<long> snapshots_written_{0};
   std::atomic<long> slots_advanced_{0};
+  std::atomic<long> sessions_reaped_{0};
 };
 
 }  // namespace postcard::server

@@ -5,103 +5,16 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "audit/fingerprint.h"
 #include "server/protocol.h"
 
 namespace postcard::server {
 
 namespace {
 
-// Event payload discriminants on disk. Kept independent of the
-// std::variant index so reordering EventPayload alternatives cannot
-// silently change the file format.
-enum class EventTag : std::uint8_t {
-  kLinkDown = 0,
-  kLinkUp = 1,
-  kCapacityChange = 2,
-  kFileArrival = 3,
-  kSlotTick = 4,
-  kSolverStall = 5,
-  kSolverFault = 6,
-};
-
-void encode_event(ByteWriter& w, const runtime::Event& e) {
-  w.i32(e.slot);
-  w.u64(e.seq);
-  if (const auto* d = std::get_if<runtime::LinkDown>(&e.payload)) {
-    w.u8(static_cast<std::uint8_t>(EventTag::kLinkDown));
-    w.i32(d->link);
-  } else if (const auto* u = std::get_if<runtime::LinkUp>(&e.payload)) {
-    w.u8(static_cast<std::uint8_t>(EventTag::kLinkUp));
-    w.i32(u->link);
-  } else if (const auto* c =
-                 std::get_if<runtime::CapacityChange>(&e.payload)) {
-    w.u8(static_cast<std::uint8_t>(EventTag::kCapacityChange));
-    w.i32(c->link);
-    w.f64(c->capacity);
-  } else if (const auto* a = std::get_if<runtime::FileArrival>(&e.payload)) {
-    w.u8(static_cast<std::uint8_t>(EventTag::kFileArrival));
-    encode_file_request(w, a->file);
-  } else if (const auto* t = std::get_if<runtime::SlotTick>(&e.payload)) {
-    w.u8(static_cast<std::uint8_t>(EventTag::kSlotTick));
-    w.i32(t->slot);
-  } else if (const auto* s = std::get_if<runtime::SolverStall>(&e.payload)) {
-    w.u8(static_cast<std::uint8_t>(EventTag::kSolverStall));
-    w.i32(s->backend);
-    w.i64(s->pivot_budget);
-  } else if (const auto* f = std::get_if<runtime::SolverFault>(&e.payload)) {
-    w.u8(static_cast<std::uint8_t>(EventTag::kSolverFault));
-    w.i32(f->backend);
-    w.i32(f->disable_rungs);
-  } else {
-    throw WireError("unknown event payload variant");
-  }
-}
-
-runtime::Event decode_event(ByteReader& r) {
-  runtime::Event e;
-  e.slot = r.i32();
-  e.seq = r.u64();
-  const auto tag = static_cast<EventTag>(r.u8());
-  switch (tag) {
-    case EventTag::kLinkDown:
-      e.payload = runtime::LinkDown{r.i32()};
-      break;
-    case EventTag::kLinkUp:
-      e.payload = runtime::LinkUp{r.i32()};
-      break;
-    case EventTag::kCapacityChange: {
-      runtime::CapacityChange c;
-      c.link = r.i32();
-      c.capacity = r.f64();
-      e.payload = c;
-      break;
-    }
-    case EventTag::kFileArrival:
-      e.payload = runtime::FileArrival{decode_file_request(r)};
-      break;
-    case EventTag::kSlotTick:
-      e.payload = runtime::SlotTick{r.i32()};
-      break;
-    case EventTag::kSolverStall: {
-      runtime::SolverStall s;
-      s.backend = r.i32();
-      s.pivot_budget = r.i64();
-      e.payload = s;
-      break;
-    }
-    case EventTag::kSolverFault: {
-      runtime::SolverFault f;
-      f.backend = r.i32();
-      f.disable_rungs = r.i32();
-      e.payload = f;
-      break;
-    }
-    default:
-      throw WireError("unknown event tag " +
-                      std::to_string(static_cast<int>(tag)));
-  }
-  return e;
-}
+// The event codec (EventTag discriminants, encode_event/decode_event)
+// moved to protocol.cc so the replication stream shares the exact byte
+// layout of the snapshot's pending-event section.
 
 void encode_warm_cache(ByteWriter& w, const core::MasterWarmCache& c) {
   w.boolean(c.valid);
@@ -288,6 +201,9 @@ void encode_body(ByteWriter& w, const runtime::RuntimeSnapshot& snap) {
   w.i64(snap.admitted);
   w.i64(snap.ingress_rejected);
   w.f64(snap.ingress_rejected_volume);
+  w.u32(static_cast<std::uint32_t>(snap.admitted_ids.size()));
+  for (int id : snap.admitted_ids) w.i32(id);
+  w.u64(snap.event_seq_watermark);
   w.u32(static_cast<std::uint32_t>(snap.pending_events.size()));
   for (const runtime::Event& e : snap.pending_events) encode_event(w, e);
   w.u32(static_cast<std::uint32_t>(snap.backends.size()));
@@ -327,6 +243,10 @@ runtime::RuntimeSnapshot decode_body(ByteReader& r) {
   snap.admitted = r.i64();
   snap.ingress_rejected = r.i64();
   snap.ingress_rejected_volume = r.f64();
+  const std::size_t ids = r.length(4);
+  snap.admitted_ids.reserve(ids);
+  for (std::size_t i = 0; i < ids; ++i) snap.admitted_ids.push_back(r.i32());
+  snap.event_seq_watermark = r.u64();
   const std::size_t events = r.length(4 + 8 + 1);
   snap.pending_events.reserve(events);
   for (std::size_t i = 0; i < events; ++i) {
@@ -343,12 +263,9 @@ runtime::RuntimeSnapshot decode_body(ByteReader& r) {
 }  // namespace
 
 std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    hash ^= data[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  // Same hash the replication divergence fingerprint uses; one
+  // implementation, one set of constants (src/audit/fingerprint.h).
+  return audit::fnv1a64(data, n);
 }
 
 std::vector<std::uint8_t> encode_snapshot(
@@ -368,6 +285,11 @@ std::vector<std::uint8_t> encode_snapshot(
 
 runtime::RuntimeSnapshot decode_snapshot(
     const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) {
+    // Distinct from mere truncation: an empty file usually means the
+    // snapshot was never written (crash before first byte), not damaged.
+    throw WireError("snapshot file is empty");
+  }
   if (bytes.size() < 4 + 4 + 8 + 8) {
     throw WireError("snapshot shorter than header + trailer");
   }

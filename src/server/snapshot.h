@@ -29,7 +29,8 @@
 namespace postcard::server {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x50534E50;  // "PSNP"
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+// v4: idempotent-submission dedup ids + event-seq watermark (replication).
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// FNV-1a 64-bit over a byte range.
 std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);

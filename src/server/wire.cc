@@ -1,6 +1,8 @@
 #include "server/wire.h"
 
 #include <cerrno>
+#include <chrono>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -30,12 +32,23 @@ bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
                       " of " + std::to_string(n) + " bytes)");
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired. At got == 0 the peer is merely idle; mid-read
+      // it stalled inside a frame (half-open or wedged).
+      throw WireTimeout("recv deadline expired after " + std::to_string(got) +
+                            " of " + std::to_string(n) + " bytes",
+                        /*at_frame_boundary=*/got == 0);
+    }
     throw WireError("recv failed: errno " + std::to_string(errno));
   }
   return true;
 }
 
-void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+void write_all(int fd, const std::uint8_t* data, std::size_t n,
+               int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                                 : timeout_ms);
   std::size_t sent = 0;
   while (sent < n) {
     const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
@@ -43,7 +56,45 @@ void write_all(int fd, const std::uint8_t* data, std::size_t n) {
       sent += static_cast<std::size_t>(r);
       continue;
     }
-    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      // send() returning 0 for n > 0 should not happen on a socket; treat
+      // it as a dead peer rather than spinning or reading stale errno.
+      throw WireError("send returned 0 (" + std::to_string(sent) + " of " +
+                      std::to_string(n) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Socket buffer full (non-blocking fd, SO_SNDTIMEO, or a peer that
+      // stopped draining). With no deadline keep blocking via poll; with
+      // one, wait only for the time remaining.
+      int wait_ms = -1;
+      if (timeout_ms >= 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        if (left.count() <= 0) {
+          throw WireTimeout("send deadline expired after " +
+                                std::to_string(sent) + " of " +
+                                std::to_string(n) + " bytes",
+                            /*at_frame_boundary=*/sent == 0);
+        }
+        wait_ms = static_cast<int>(left.count());
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int p = ::poll(&pfd, 1, wait_ms);
+      if (p < 0 && errno != EINTR) {
+        throw WireError("poll failed: errno " + std::to_string(errno));
+      }
+      if (p == 0 && timeout_ms >= 0) {
+        throw WireTimeout("send deadline expired after " +
+                              std::to_string(sent) + " of " +
+                              std::to_string(n) + " bytes",
+                          /*at_frame_boundary=*/sent == 0);
+      }
+      continue;
+    }
     throw WireError("send failed: errno " + std::to_string(errno));
   }
 }
@@ -75,9 +126,9 @@ bool read_frame(int fd, Frame* out, std::size_t max_frame_bytes) {
 }
 
 void write_frame(int fd, MessageType type,
-                 const std::vector<std::uint8_t>& payload) {
+                 const std::vector<std::uint8_t>& payload, int timeout_ms) {
   const std::vector<std::uint8_t> frame = encode_frame(type, payload);
-  write_all(fd, frame.data(), frame.size());
+  write_all(fd, frame.data(), frame.size(), timeout_ms);
 }
 
 }  // namespace postcard::server

@@ -28,7 +28,7 @@
 
 namespace postcard::server {
 
-inline constexpr std::uint16_t kProtocolVersion = 3;
+inline constexpr std::uint16_t kProtocolVersion = 4;
 
 /// Default cap on a single frame's payload. SubmitBatch with tens of
 /// thousands of files and a full stats reply both fit comfortably.
@@ -40,6 +40,24 @@ inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 24;
 class WireError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A deadline expired mid-read or mid-write (SO_RCVTIMEO/SO_SNDTIMEO or an
+/// explicit timeout_ms). Distinct from WireError so callers can tell a
+/// *slow* peer from a *broken* one: the idle-session reaper closes quietly
+/// on a boundary timeout instead of counting a protocol error, and the
+/// replication primary drops a stalled standby for reseeding rather than
+/// treating it as malformed input.
+class WireTimeout : public WireError {
+ public:
+  explicit WireTimeout(const std::string& what, bool at_frame_boundary)
+      : WireError(what), at_frame_boundary_(at_frame_boundary) {}
+  /// True when no byte of the current unit had been transferred yet — the
+  /// peer is idle, not mid-frame, so closing loses nothing.
+  bool at_frame_boundary() const { return at_frame_boundary_; }
+
+ private:
+  bool at_frame_boundary_;
 };
 
 enum class MessageType : std::uint16_t {
@@ -61,6 +79,15 @@ enum class MessageType : std::uint16_t {
   kAdvanceReply = 71,
   kBackpressure = 72,  // admission control said no; explicit, not a hangup
   kError = 73,         // protocol violation; the session closes after this
+  // Replication channel (primary <-> standby), DESIGN.md §14. Numbered
+  // from 100 so client-facing types can grow without colliding.
+  kReplHello = 100,      // standby -> primary: introduce + last commit slot
+  kReplSnapshot = 101,   // primary -> standby: full PSNP bootstrap image
+  kReplEvents = 102,     // primary -> standby: ordered event-push batch
+  kReplCommit = 103,     // primary -> standby: slot commit + fingerprint
+  kReplHeartbeat = 104,  // primary -> standby: liveness between commits
+  kReplAck = 105,        // standby -> primary: applied commit + own digest
+  kReplReseed = 106,     // standby -> primary: diverged, ship fresh snapshot
 };
 
 /// Appends fixed-width little-endian values to a growing buffer.
@@ -191,20 +218,28 @@ std::vector<std::uint8_t> encode_frame(MessageType type,
 
 /// Blocking exact-length read/write over a socket fd, resuming across
 /// EINTR and short transfers. read_exact returns false on a clean EOF at
-/// byte 0 (peer closed between frames) and throws WireError on a mid-frame
-/// EOF or socket error. write_all throws WireError on error (MSG_NOSIGNAL;
-/// a vanished peer must never SIGPIPE the server).
+/// byte 0 (peer closed between frames), throws WireTimeout when a receive
+/// deadline set on the socket (SO_RCVTIMEO) expires, and throws WireError
+/// on a mid-frame EOF or socket error. write_all throws WireError on error
+/// (MSG_NOSIGNAL; a vanished peer must never SIGPIPE the server); with
+/// `timeout_ms >= 0` it bounds the WHOLE write with a poll()-based
+/// deadline and throws WireTimeout when the peer stops draining — the
+/// replication primary uses this so one stalled standby cannot wedge the
+/// slot driver forever.
 bool read_exact(int fd, std::uint8_t* out, std::size_t n);
-void write_all(int fd, const std::uint8_t* data, std::size_t n);
+void write_all(int fd, const std::uint8_t* data, std::size_t n,
+               int timeout_ms = -1);
 
 /// Reads one frame. Returns false on clean EOF before any header byte.
-/// Throws WireError on truncation, a version mismatch, or a declared
-/// payload length beyond `max_frame_bytes` (checked before allocating).
+/// Throws WireTimeout when the socket's receive deadline expires and
+/// WireError on truncation, a version mismatch, or a declared payload
+/// length beyond `max_frame_bytes` (checked before allocating).
 bool read_frame(int fd, Frame* out,
                 std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
-/// Writes one frame.
+/// Writes one frame; `timeout_ms >= 0` bounds the write (see write_all).
 void write_frame(int fd, MessageType type,
-                 const std::vector<std::uint8_t>& payload);
+                 const std::vector<std::uint8_t>& payload,
+                 int timeout_ms = -1);
 
 }  // namespace postcard::server

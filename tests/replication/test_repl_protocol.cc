@@ -1,0 +1,215 @@
+// Replication codec round-trips, truncation safety, and the divergence
+// fingerprint's contract: deterministic over committed state, sensitive to
+// one ULP of cost-series drift, blind to wall-clock noise.
+#include "replication/repl_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "audit/fingerprint.h"
+#include "runtime/runtime.h"
+#include "sim/workload.h"
+
+namespace postcard::replication {
+namespace {
+
+TEST(ReplCodec, HelloRoundTrip) {
+  ReplHello msg;
+  msg.last_commit_slot = 41;
+  const ReplHello back = ReplHello::decode(msg.encode());
+  EXPECT_EQ(back.last_commit_slot, 41);
+  EXPECT_EQ(ReplHello{}.decode(ReplHello{}.encode()).last_commit_slot, -1);
+}
+
+TEST(ReplCodec, SnapshotImageRoundTrip) {
+  ReplSnapshot msg;
+  for (int i = 0; i < 1000; ++i) {
+    msg.image.push_back(static_cast<std::uint8_t>(i * 37));
+  }
+  const ReplSnapshot back = ReplSnapshot::decode(msg.encode());
+  EXPECT_EQ(back.image, msg.image);
+}
+
+TEST(ReplCodec, EventsRoundTripAllPayloadKinds) {
+  ReplEvents msg;
+  net::FileRequest file;
+  file.id = 7;
+  file.source = 1;
+  file.destination = 2;
+  file.size = 55.5;
+  file.max_transfer_slots = 3;
+  file.release_slot = 4;
+  msg.events.push_back({4, 10, runtime::FileArrival{file}});
+  msg.events.push_back({5, 11, runtime::LinkDown{3}});
+  msg.events.push_back({6, 12, runtime::LinkUp{3}});
+  msg.events.push_back({7, 13, runtime::CapacityChange{2, 42.25}});
+  msg.events.push_back({8, 14, runtime::SolverStall{-1, 100}});
+  msg.events.push_back({9, 15, runtime::SolverFault{0, 2}});
+
+  const ReplEvents back = ReplEvents::decode(msg.encode());
+  ASSERT_EQ(back.events.size(), msg.events.size());
+  EXPECT_EQ(back.events[0].slot, 4);
+  EXPECT_EQ(back.events[0].seq, 10u);
+  const auto& arrival = std::get<runtime::FileArrival>(back.events[0].payload);
+  EXPECT_EQ(arrival.file.id, 7);
+  EXPECT_EQ(arrival.file.size, 55.5);
+  EXPECT_EQ(std::get<runtime::LinkDown>(back.events[1].payload).link, 3);
+  EXPECT_EQ(std::get<runtime::CapacityChange>(back.events[3].payload).capacity,
+            42.25);
+  EXPECT_EQ(std::get<runtime::SolverStall>(back.events[4].payload).pivot_budget,
+            100);
+  EXPECT_EQ(std::get<runtime::SolverFault>(back.events[5].payload).disable_rungs,
+            2);
+}
+
+TEST(ReplCodec, CommitAckHeartbeatReseedRoundTrip) {
+  const ReplCommit commit = ReplCommit::decode(
+      ReplCommit{12, 0xdeadbeefcafef00dULL}.encode());
+  EXPECT_EQ(commit.slot, 12);
+  EXPECT_EQ(commit.fingerprint, 0xdeadbeefcafef00dULL);
+
+  const ReplAck ack = ReplAck::decode(ReplAck{12, 99}.encode());
+  EXPECT_EQ(ack.slot, 12);
+  EXPECT_EQ(ack.fingerprint, 99u);
+
+  EXPECT_EQ(ReplHeartbeat::decode(ReplHeartbeat{7}.encode()).next_slot, 7);
+  EXPECT_EQ(ReplReseed::decode(ReplReseed{"gap at slot 3"}.encode()).reason,
+            "gap at slot 3");
+}
+
+TEST(ReplCodec, EveryTruncationThrows) {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.push_back(ReplHello{3}.encode());
+  {
+    ReplSnapshot s;
+    s.image = {1, 2, 3, 4, 5};
+    payloads.push_back(s.encode());
+  }
+  {
+    ReplEvents e;
+    net::FileRequest f;
+    f.id = 1;
+    f.source = 0;
+    f.destination = 1;
+    f.size = 1.0;
+    e.events.push_back({0, 0, runtime::FileArrival{f}});
+    e.events.push_back({1, 1, runtime::LinkDown{0}});
+    payloads.push_back(e.encode());
+  }
+  payloads.push_back(ReplCommit{1, 2}.encode());
+  payloads.push_back(ReplReseed{"diverged"}.encode());
+
+  int decoder = 0;
+  const auto try_decode = [&](const std::vector<std::uint8_t>& p) {
+    switch (decoder) {
+      case 0: ReplHello::decode(p); break;
+      case 1: ReplSnapshot::decode(p); break;
+      case 2: ReplEvents::decode(p); break;
+      case 3: ReplCommit::decode(p); break;
+      case 4: ReplReseed::decode(p); break;
+    }
+  };
+  for (const std::vector<std::uint8_t>& payload : payloads) {
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      std::vector<std::uint8_t> prefix(payload.begin(), payload.begin() + cut);
+      EXPECT_THROW(try_decode(prefix), server::WireError)
+          << "decoder " << decoder << " prefix " << cut;
+    }
+    EXPECT_NO_THROW(try_decode(payload)) << "decoder " << decoder;
+    ++decoder;
+  }
+}
+
+// --- Fingerprint contract -------------------------------------------------
+
+runtime::RuntimeStats driven_stats(std::uint64_t seed, int slots) {
+  sim::WorkloadParams p;
+  p.num_datacenters = 5;
+  p.link_capacity = 100.0;
+  p.cost_min = 1.0;
+  p.cost_max = 10.0;
+  p.files_per_slot_min = 1;
+  p.files_per_slot_max = 3;
+  p.size_min = 10.0;
+  p.size_max = 80.0;
+  p.deadline_min = 1;
+  p.deadline_max = 3;
+  p.num_slots = slots;
+  p.seed = seed;
+  const sim::UniformWorkload w(p);
+  runtime::ControllerRuntime rt{net::Topology(w.topology()),
+                                runtime::RuntimeOptions{}};
+  rt.add_postcard_backend();
+  for (int slot = 0; slot < slots; ++slot) {
+    for (const net::FileRequest& f : w.batch(slot)) rt.ingress().submit(f);
+    rt.tick();
+  }
+  return rt.stats();
+}
+
+TEST(Fingerprint, DeterministicAcrossIdenticalRuns) {
+  const std::uint64_t a = runtime_fingerprint(driven_stats(77, 5));
+  const std::uint64_t b = runtime_fingerprint(driven_stats(77, 5));
+  EXPECT_EQ(a, b);
+  // And different state digests differently.
+  EXPECT_NE(a, runtime_fingerprint(driven_stats(78, 5)));
+  EXPECT_NE(a, runtime_fingerprint(driven_stats(77, 4)));
+}
+
+TEST(Fingerprint, OneUlpOfCostDivergenceFlipsTheDigest) {
+  runtime::RuntimeStats stats = driven_stats(79, 4);
+  const std::uint64_t before = runtime_fingerprint(stats);
+  ASSERT_FALSE(stats.backends.empty());
+  ASSERT_FALSE(stats.backends[0].cost_series.empty());
+  double& cost = stats.backends[0].cost_series.back();
+  cost = std::nextafter(cost, cost + 1.0);
+  EXPECT_NE(runtime_fingerprint(stats), before);
+}
+
+TEST(Fingerprint, CounterDivergenceFlipsTheDigest) {
+  runtime::RuntimeStats stats = driven_stats(80, 4);
+  const std::uint64_t before = runtime_fingerprint(stats);
+  stats.backends[0].accepted_files++;
+  EXPECT_NE(runtime_fingerprint(stats), before);
+}
+
+TEST(Fingerprint, WallClockAndIngressNoiseAreExcluded) {
+  runtime::RuntimeStats stats = driven_stats(81, 4);
+  const std::uint64_t before = runtime_fingerprint(stats);
+  // Timing varies run to run even in deterministic mode; a digest that
+  // hashed it would reseed on every commit.
+  stats.backends[0].pricing_seconds += 1.5;
+  stats.backends[0].master_seconds += 0.5;
+  stats.backends[0].last_solver_status = "something else";
+  // Submissions race the commit boundary on a live primary.
+  stats.submitted += 10;
+  stats.admitted += 10;
+  stats.queue_depth += 3;
+  EXPECT_EQ(runtime_fingerprint(stats), before);
+}
+
+TEST(Fnv1a, KnownVectorsAndStreamingEquivalence) {
+  // FNV-1a 64 reference values.
+  EXPECT_EQ(audit::fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+  const std::uint8_t a = 'a';
+  EXPECT_EQ(audit::fnv1a64(&a, 1), 0xaf63dc4c8601ec8cULL);
+
+  audit::Fnv1a64 h;
+  h.u32(0x12345678u);
+  h.f64(2.5);
+  h.str("postcard");
+  audit::Fnv1a64 manual;
+  manual.u8(0x78);
+  manual.u8(0x56);
+  manual.u8(0x34);
+  manual.u8(0x12);
+  // f64 hashes the little-endian bit pattern; 2.5 = 0x4004000000000000.
+  const std::uint8_t bits[] = {0, 0, 0, 0, 0, 0, 0x04, 0x40};
+  manual.bytes(bits, 8);
+  manual.u32(8);  // str() prefixes its length
+  const std::string s = "postcard";
+  manual.bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  EXPECT_EQ(h.digest(), manual.digest());
+}
+
+}  // namespace
+}  // namespace postcard::replication

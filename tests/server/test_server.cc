@@ -5,9 +5,12 @@
 // snapshot finishes the workload with the identical cost series).
 #include "server/server.h"
 
+#include <arpa/inet.h>
 #include <cstdio>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <string>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "server/client.h"
@@ -114,6 +117,50 @@ TEST(Server, SubmitAdvanceQueryShutdown) {
   client.shutdown();
   server.wait();
   EXPECT_FALSE(server.running());
+}
+
+TEST(Server, IdleSessionsAreReapedWithoutDisturbingActiveOnes) {
+  const sim::UniformWorkload w(small_workload(36));
+  ServerOptions options;
+  options.session_idle_timeout_ms = 100;
+  PostcardServer server{net::Topology(w.topology()), options};
+  server.add_postcard_backend();
+  server.start();
+
+  // A connection that never sends a byte: exactly what a wedged or
+  // half-open client looks like. Without the reaper it would pin a
+  // session thread forever.
+  const int idle_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(idle_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(idle_fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // An active client on the same server, polling throughout: its own
+  // session must survive the reaper sweeps.
+  PostcardClient client("127.0.0.1", server.port());
+  long reaped = 0;
+  for (int i = 0; i < 3000 && reaped == 0; ++i) {
+    reaped = client.query_stats().server.sessions_reaped;
+    ::usleep(10 * 1000);
+  }
+  EXPECT_GE(reaped, 1) << "idle session was never reaped";
+  ::close(idle_fd);
+
+  // The active session kept its connection and still does real work.
+  client.submit_batch(w.batch(0));
+  client.advance(1);
+  const runtime::RuntimeStats stats = client.query_stats();
+  EXPECT_EQ(stats.backends[0].cost_series.size(), 1u);
+  EXPECT_NE(format_metrics(stats).find("postcard_server_sessions_reaped"),
+            std::string::npos);
+
+  client.shutdown();
+  server.wait();
 }
 
 TEST(Server, ShutdownWritesFinalSnapshotAndDrains) {

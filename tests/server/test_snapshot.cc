@@ -182,6 +182,78 @@ TEST(SnapshotRestore, TamperedFileIsRejected) {
   EXPECT_THROW(decode_snapshot(future_version), WireError);
 }
 
+TEST(SnapshotRestore, EachCorruptionClassFailsWithItsOwnError) {
+  // Operators debugging a failed failover reseed need to know WHICH way a
+  // snapshot is bad: never-written, damaged, stale-format or torn. Each
+  // class must fail loudly with its own message — and none may partially
+  // restore (decode throws before any state is produced).
+  const sim::UniformWorkload w(small_workload(26));
+  ControllerRuntime runtime{net::Topology(w.topology()), RuntimeOptions{}};
+  runtime.add_postcard_backend();
+  drive(runtime, w, 0, 3);
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(runtime.capture_snapshot());
+
+  const auto error_of = [](const std::vector<std::uint8_t>& image) {
+    try {
+      decode_snapshot(image);
+    } catch (const WireError& e) {
+      return std::string(e.what());
+    }
+    return std::string("(no error)");
+  };
+
+  // Zero-length file: crash before the first byte, not damage.
+  EXPECT_EQ(error_of({}), "snapshot file is empty");
+  {
+    const std::string path = temp_snapshot_path("empty");
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    try {
+      read_snapshot_file(path);
+      FAIL() << "empty file restored";
+    } catch (const WireError& e) {
+      EXPECT_STREQ(e.what(), "snapshot file is empty");
+    }
+    std::remove(path.c_str());
+  }
+
+  // Single-bit flip in the body: the checksum trailer catches it.
+  {
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[16 + (flipped.size() - 24) / 2] ^= 0x40;
+    EXPECT_EQ(error_of(flipped),
+              "snapshot checksum mismatch (file corrupt or tampered)");
+  }
+
+  // Truncated mid-section: the declared body length no longer fits.
+  {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() +
+                                      static_cast<long>(bytes.size() / 2));
+    EXPECT_NE(error_of(cut).find("snapshot body length mismatch"),
+              std::string::npos);
+  }
+  // Truncated inside the header: a distinct, equally loud message.
+  {
+    std::vector<std::uint8_t> stub(bytes.begin(), bytes.begin() + 10);
+    EXPECT_EQ(error_of(stub), "snapshot shorter than header + trailer");
+  }
+
+  // Version skew (a snapshot from a future build): rejected by version,
+  // not misparsed — the check runs before any body field is touched.
+  {
+    std::vector<std::uint8_t> future = bytes;
+    future[4] = 99;
+    EXPECT_EQ(error_of(future), "unsupported snapshot version 99");
+  }
+
+  // And the intact image still restores, proving the classes above were
+  // each caused by the injected damage alone.
+  EXPECT_NO_THROW(decode_snapshot(bytes));
+}
+
 TEST(SnapshotRestore, MismatchedRestoreTargetsAreRefused) {
   const sim::UniformWorkload w(small_workload(24));
   ControllerRuntime source{net::Topology(w.topology()), RuntimeOptions{}};

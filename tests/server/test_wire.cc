@@ -5,8 +5,10 @@
 #include "server/wire.h"
 
 #include <gtest/gtest.h>
+#include <chrono>
 #include <limits>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <thread>
 #include <unistd.h>
 
@@ -312,6 +314,79 @@ TEST(Framing, WrongVersionRejected) {
   write_all(p.a, header.data().data(), header.size());
   Frame frame;
   EXPECT_THROW(read_frame(p.b, &frame), WireError);
+}
+
+TEST(Framing, ReceiveDeadlineSurfacesAsWireTimeout) {
+  FdPair p;
+  timeval tv{};
+  tv.tv_usec = 50 * 1000;
+  ASSERT_EQ(::setsockopt(p.b, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)), 0);
+
+  // A peer that is merely idle: the deadline trips ON the frame boundary,
+  // which the session loop treats as "check idle budget, maybe keep
+  // waiting" — not a protocol error.
+  Frame frame;
+  try {
+    read_frame(p.b, &frame);
+    FAIL() << "silent peer never timed out";
+  } catch (const WireTimeout& t) {
+    EXPECT_TRUE(t.at_frame_boundary());
+  }
+
+  // A peer that stalls INSIDE a frame (half-open or wedged): same
+  // exception, but flagged mid-frame — resuming is not an option because
+  // the stream position is torn.
+  const std::vector<std::uint8_t> full =
+      encode_frame(MessageType::kQueryStats, {1, 2, 3, 4});
+  write_all(p.a, full.data(), 3);  // a fragment of the header, then silence
+  try {
+    read_frame(p.b, &frame);
+    FAIL() << "mid-frame stall never timed out";
+  } catch (const WireTimeout& t) {
+    EXPECT_FALSE(t.at_frame_boundary());
+  }
+}
+
+TEST(Framing, WriteDeadlineTripsWhenPeerStopsDraining) {
+  // The replication primary's protection against a stalled standby: a
+  // bounded write_frame must throw WireTimeout once the peer's buffers
+  // fill, instead of blocking the slot driver forever. Both socket
+  // buffers are shrunk to their kernel minimum and SO_SNDTIMEO makes the
+  // blocking send surface EAGAIN for write_all's poll deadline — the same
+  // arrangement the primary applies to accepted replication connections.
+  FdPair p;
+  const int tiny = 1;  // the kernel clamps this up to its minimum
+  ::setsockopt(p.a, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  ::setsockopt(p.b, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  timeval tv{};
+  tv.tv_usec = 20 * 1000;
+  ASSERT_EQ(::setsockopt(p.a, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)), 0);
+
+  const std::vector<std::uint8_t> payload(1 << 20, 0x5a);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(write_frame(p.a, MessageType::kSubmitBatch, payload, 250),
+               WireTimeout);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // The deadline bounds the WHOLE write: well under the time a megabyte
+  // would take at one-buffer-per-20ms, and with slack over the 250ms ask.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+
+  // The same write with a draining peer completes fine — the deadline
+  // only ever fires on a genuine stall. Fresh pair: the timed-out write
+  // above left a torn frame prefix in the old stream.
+  FdPair q;
+  ::setsockopt(q.a, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  ::setsockopt(q.b, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  ASSERT_EQ(::setsockopt(q.a, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)), 0);
+  std::thread reader([&] {
+    Frame frame;
+    ASSERT_TRUE(read_frame(q.b, &frame));
+    EXPECT_EQ(frame.payload.size(), payload.size());
+  });
+  write_frame(q.a, MessageType::kSubmitBatch, payload, 30000);
+  reader.join();
 }
 
 TEST(Framing, PartialWritesReassemble) {
