@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# postcard_lint gate: the project-specific invariant checker
+# (tools/postcard_lint — determinism, layering, wire-decode and lock
+# discipline; the rule catalog is in tools/postcard_lint/lint.h).
+#
+# Unlike the tidy gate (scripts/check_tidy.sh), the core engine is plain
+# C++ and builds with whatever compiler builds the tree, so this gate runs
+# EVERYWHERE — a GCC-only container gets full enforcement. The binary is
+# driven by the build's compile database: a src/ translation unit that was
+# never wired into CMake fails loudly ([postcard-compdb-missing]) instead
+# of silently escaping every compile-based gate.
+#
+# The optional clang LibTooling frontend (-DPOSTCARD_LINT_AST=ON) is an
+# additive second pass; its absence is noted, never an error.
+#
+# BUILD_DIR selects the build tree (default: build). JOBS controls build
+# parallelism (default: all cores).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+if [ ! -d "${BUILD_DIR}" ]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target postcard_lint
+
+LINT_BIN="${BUILD_DIR}/tools/postcard_lint/postcard_lint"
+if [ ! -x "${LINT_BIN}" ]; then
+  echo "==================================================================="
+  echo "LINT GATE FAILED: ${LINT_BIN} did not build."
+  echo "The postcard_lint core needs no clang — a build failure here is a"
+  echo "real break, not a missing dependency. See tools/postcard_lint/."
+  echo "==================================================================="
+  exit 1
+fi
+
+COMPDB="${BUILD_DIR}/compile_commands.json"
+if [ ! -f "${COMPDB}" ]; then
+  echo "==================================================================="
+  echo "LINT GATE: ${COMPDB} missing — the compdb completeness check"
+  echo "(unwired-translation-unit trap) cannot run. The build tree predates"
+  echo "CMAKE_EXPORT_COMPILE_COMMANDS; re-run cmake -B ${BUILD_DIR} -S ."
+  echo "==================================================================="
+  exit 1
+fi
+
+echo "== postcard_lint (determinism / layering / wire / lock) =="
+"${LINT_BIN}" --root . --compdb "${COMPDB}"
+
+if [ -x "${BUILD_DIR}/tools/postcard_lint/postcard_lint_ast" ]; then
+  echo "== postcard_lint AST frontend (clang LibTooling) =="
+  "${BUILD_DIR}/tools/postcard_lint/postcard_lint_ast" -p "${BUILD_DIR}" \
+    $(git ls-files 'src/**/*.cc')
+else
+  echo "note: AST frontend not built (needs clang dev headers +"
+  echo "      -DPOSTCARD_LINT_AST=ON); the token-engine pass above is the"
+  echo "      authoritative gate and DID run."
+fi
+echo "lint gate passed"

@@ -19,6 +19,29 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
+# File-list completeness: every first-level src/ subdirectory must
+# contribute at least one .cc to the tidy file list below, so a new
+# library added after this script was written cannot silently escape the
+# gate. This runs BEFORE the clang detection — a GCC-only box still fails
+# loudly on an uncovered subsystem.
+mapfile -t tidy_sources < <(git ls-files 'src/**/*.cc')
+for subdir in src/*/; do
+  name="${subdir#src/}"
+  name="${name%/}"
+  case " ${tidy_sources[*]} " in
+    *" src/${name}/"*) ;;
+    *)
+      echo "===================================================================" >&2
+      echo "TIDY GATE FAILED: src/${name}/ contributes no .cc to the tidy" >&2
+      echo "file list (git ls-files 'src/**/*.cc'). Either the new library" >&2
+      echo "is header-only (add a .cc or an explicit exemption here) or its" >&2
+      echo "files were never committed — both must be decided, not ignored." >&2
+      echo "===================================================================" >&2
+      exit 1
+      ;;
+  esac
+done
+
 if ! command -v clang++ >/dev/null 2>&1; then
   echo "==================================================================="
   echo "TIDY GATE SKIPPED: clang++ not found on PATH."

@@ -39,6 +39,12 @@ cmake --build build-ubsan -j "${JOBS}"
 ctest --test-dir build-ubsan -L "charging|runtime|chaos|lp|audit|server|scale|replication" \
   --output-on-failure -j "${JOBS}" 2>&1 | tee -a test_output.txt
 
+# Project-invariant lint (tools/postcard_lint): determinism, layering,
+# wire-decode and lock discipline over src/, driven by the compile
+# database. Needs no clang — this gate runs on every box; any unsuppressed
+# finding fails the run.
+scripts/check_lint.sh 2>&1 | tee -a test_output.txt
+
 # Static-analysis gate: clang thread-safety analysis + clang-tidy. Skips
 # loudly (exit 0) when clang is not installed — see the script header.
 scripts/check_tidy.sh 2>&1 | tee -a test_output.txt

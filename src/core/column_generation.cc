@@ -448,6 +448,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
       warm_cache && warm_cache->valid && !warm_cache->arc_weights.empty();
   if (options.dual_warm) {
     if (have_prev_duals) result.dual_warm_attempted = true;
+    // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
     const auto t0 = std::chrono::steady_clock::now();
     for (int a = 0; a < num_arcs; ++a) {
       arc_weight[a] = 0.0;
@@ -465,6 +466,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
       }
     }
     result.pricing_seconds +=
+        // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
   }
@@ -495,6 +497,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
   const bool trace = std::getenv("POSTCARD_CG_TRACE") != nullptr;
 
   for (result.rounds = 0; result.rounds < options.max_rounds; ++result.rounds) {
+    // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
     const auto t0 = std::chrono::steady_clock::now();
     // Direct simplex call (no presolve): exact duals for every master row.
     // Rounds after an optimal one resume in place — same basis, same LU
@@ -512,6 +515,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
               : simplex.solve(master, warm.basis.empty() ? nullptr : &warm,
                               budget);
     result.master_seconds +=
+        // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     if (resume) ++result.resumed_solves;
@@ -524,6 +528,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
           stderr, "cg round %d: cols=%zu status=%s iters=%ld obj=%.4f %.2fs\n",
           result.rounds, columns.size(), lp::to_string(sol.status),
           sol.iterations, sol.objective,
+          // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count());
     }
@@ -551,6 +556,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
     // column sequence (and every downstream plan) bit-for-bit the serial
     // sweep's.
     auto price = [&](const linalg::Vector& duals, bool* any_added) {
+      // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
       const auto tp = std::chrono::steady_clock::now();
       double dual_scale = 1.0;
       for (double y : duals) dual_scale = std::max(dual_scale, std::abs(y));
@@ -598,6 +604,7 @@ PathSolveResult solve_postcard_by_paths(const net::Topology& topology,
         if (append_column(k, std::move(out.arcs))) *any_added = true;
       }
       result.pricing_seconds +=
+          // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
           std::chrono::duration<double>(std::chrono::steady_clock::now() - tp)
               .count();
       return slack;

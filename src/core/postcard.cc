@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+// NOLINTNEXTLINE(postcard-layering: sanctioned self-audit edge — the controller re-verifies its own plans; audit/audit.h only includes downward (core/plan.h), so no cycle forms)
 #include "audit/audit.h"
 #include "base/worker_pool.h"
 #include "core/column_generation.h"
@@ -206,6 +207,7 @@ sim::ScheduleOutcome PostcardController::schedule(
 void PostcardController::run_audit(int slot,
                                    const std::vector<net::FileRequest>& files,
                                    sim::ScheduleOutcome& outcome) const {
+  // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
   const auto t0 = std::chrono::steady_clock::now();
   audit::AuditOptions options;
   options.tolerance = audit_controls_.tolerance;
@@ -235,6 +237,7 @@ void PostcardController::run_audit(int slot,
     outcome.audit_reports.push_back(v.format());
   }
   outcome.audit_seconds +=
+      // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (report.ok()) return;

@@ -84,6 +84,7 @@ void RequestIngress::replicate_admit(const net::FileRequest& stamped) {
 
 std::vector<int> RequestIngress::admitted_ids() const {
   base::MutexLock lock(mu_);
+  // NOLINTNEXTLINE(postcard-determinism: the copy is std::sort'ed two lines down, so hash order never escapes this function)
   std::vector<int> ids(admitted_ids_.begin(), admitted_ids_.end());
   std::sort(ids.begin(), ids.end());
   return ids;

@@ -21,7 +21,9 @@ struct overloaded : Ts... {
 template <class... Ts>
 overloaded(Ts...) -> overloaded<Ts...>;
 
+// NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
 double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
 }
@@ -124,7 +126,9 @@ void ControllerRuntime::invalidate_plans(Backend& b, int slot, int link) {
     // Replay the executed prefix (slots < `slot`) to locate the file's
     // volume: what already reached the destination stays delivered, the
     // rest is stranded wherever the plan last put it.
-    std::unordered_map<int, double> holdings;
+    // Ordered: the walk below re-enqueues one remainder request per node,
+    // each drawing a fresh synthetic id, so node order is committed state.
+    std::map<int, double> holdings;
     holdings[entry.request.source] = entry.request.size;
     for (const core::Transfer& t : entry.plan.transfers) {
       if (t.storage() || t.slot >= slot) continue;
@@ -215,6 +219,7 @@ void ControllerRuntime::requeue_remainder(Backend& b,
 
 void ControllerRuntime::tick() {
   const int slot = next_slot_;
+  // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
   const auto start = std::chrono::steady_clock::now();
   retire_completed(slot);
   queue_.push(slot, SlotTick{slot});
@@ -367,6 +372,7 @@ void ControllerRuntime::solve_slot(int slot,
       TaskResult* out = &results[w.first];
       const std::vector<net::FileRequest>* batch = &w.batch;
       tasks.push_back([b, out, batch, slot] {
+        // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
         const auto t0 = std::chrono::steady_clock::now();
         out->outcome = b->policy->schedule(slot, *batch);
         if (b->postcard != nullptr) out->plans = b->postcard->last_plans();
@@ -395,6 +401,7 @@ void ControllerRuntime::solve_slot(int slot,
       TaskResult* out = &results[w.first + static_cast<std::size_t>(g)];
       out->files = std::move(group);
       tasks.push_back([clone = std::move(clone), out, slot]() mutable {
+        // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
         const auto t0 = std::chrono::steady_clock::now();
         out->outcome = clone.schedule(slot, out->files);
         out->plans = clone.last_plans();
@@ -479,6 +486,7 @@ void ControllerRuntime::solve_slot(int slot,
         // Conflict: the groups' snapshot solves oversubscribed a link.
         // The writer re-solves this group exactly, against live state
         // (warm-started from the live controller's own cache).
+        // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
         const auto t0 = std::chrono::steady_clock::now();
         const sim::ScheduleOutcome live = b.postcard->schedule(slot, r.files);
         const double live_seconds = elapsed_seconds(t0);
@@ -515,6 +523,7 @@ void ControllerRuntime::add_solve_latency(const sim::ScheduleOutcome& o,
 void ControllerRuntime::audit_group_commit(
     Backend& b, int slot, const std::vector<core::FilePlan>& plans,
     const std::vector<net::FileRequest>& files) {
+  // NOLINTNEXTLINE(postcard-determinism: wall-clock read is seconds telemetry for operator stats; it never feeds plans, ids, or serialized bytes)
   const auto t0 = std::chrono::steady_clock::now();
   audit::AuditOptions opts;
   opts.tolerance = options_.audit.tolerance;
@@ -808,16 +817,10 @@ RuntimeSnapshot ControllerRuntime::capture_snapshot() const {
         bs.flows.push_back({entry.request, entry.assignment});
       }
     }
-    // Hash-map iteration order is arbitrary; sort so identical state
-    // always serializes to identical bytes.
-    std::sort(bs.plans.begin(), bs.plans.end(),
-              [](const PlanLedgerEntry& a, const PlanLedgerEntry& x) {
-                return a.request.id < x.request.id;
-              });
-    std::sort(bs.flows.begin(), bs.flows.end(),
-              [](const FlowLedgerEntry& a, const FlowLedgerEntry& x) {
-                return a.request.id < x.request.id;
-              });
+    // The ledgers are std::map, so both vectors are already ascending by
+    // request id and identical state serializes to identical bytes (the
+    // ledger walks in invalidate_* and retire_completed lean on the same
+    // ordering; tests/runtime/test_replan_order.cc pins it).
     bs.replan_batch = b.replan_batch;
     bs.carry_batch = b.carry_batch;
     bs.injected_stall = b.injected_stall;

@@ -37,8 +37,8 @@
 // longer fit live residual capacity (a "conflict resolve").
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -216,8 +216,13 @@ class ControllerRuntime {
     core::PostcardController* postcard = nullptr;  // typed views; at most
     flow::FlowBaseline* flowbase = nullptr;        // one is non-null
     BackendStats stats;
-    std::unordered_map<int, InFlightPlan> plans;
-    std::unordered_map<int, InFlightFlow> flows;
+    // Ordered by request id on purpose: invalidate_plans/invalidate_flows
+    // walk these ledgers to build re-request batches (assigning synthetic
+    // ids as they go), retire_completed accumulates stats in walk order,
+    // and capture_snapshot serializes them — hash order in any of those
+    // would leak into committed state and break bit-for-bit replay.
+    std::map<int, InFlightPlan> plans;
+    std::map<int, InFlightFlow> flows;
     std::vector<net::FileRequest> replan_batch;  // re-injected this slot
     // Store-in-place carryover: files the degradation ladder deferred,
     // re-enqueued into the next slot's batch with one slot less deadline

@@ -310,6 +310,7 @@ runtime::RuntimeSnapshot decode_snapshot(
   }
   ByteReader trailer(bytes.data() + bytes.size() - 8, 8);
   const std::uint64_t stored = trailer.u64();
+  trailer.require_done();
   const std::uint64_t actual = fnv1a64(bytes.data(), bytes.size() - 8);
   if (stored != actual) {
     throw WireError("snapshot checksum mismatch (file corrupt or tampered)");

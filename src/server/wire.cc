@@ -106,6 +106,7 @@ bool read_frame(int fd, Frame* out, std::size_t max_frame_bytes) {
   const std::uint32_t payload_len = r.u32();
   const std::uint16_t version = r.u16();
   const std::uint16_t type = r.u16();
+  r.require_done();  // the three reads must consume the header exactly
   if (version != kProtocolVersion) {
     throw WireError("protocol version " + std::to_string(version) +
                     " unsupported (expected " +

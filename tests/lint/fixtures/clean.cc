@@ -1,0 +1,33 @@
+// postcard-lint-fixture: src/core/fixture_clean.cc
+// Representative deterministic code: ordered containers, a seeded engine,
+// membership-only unordered lookups, downward includes. Zero findings —
+// the no-false-positive baseline.
+#include <map>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "base/mutex.h"
+
+struct FixtureState {
+  std::map<int, double> committed_;
+  std::unordered_set<int> seen_;  // membership tests only, never iterated
+};
+
+double fixture_total(const FixtureState& s) {
+  double total = 0.0;
+  for (const auto& [id, v] : s.committed_) total += v + id;
+  return total;
+}
+
+bool fixture_known(const FixtureState& s, int id) {
+  return s.seen_.count(id) > 0;
+}
+
+std::vector<int> fixture_shuffled(std::vector<int> v, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng() % i]);
+  }
+  return v;
+}

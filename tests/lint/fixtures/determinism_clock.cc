@@ -1,0 +1,11 @@
+// postcard-lint-fixture: src/core/fixture_clock.cc
+// Two wall-clock reads in a determinism-scoped file: exactly two
+// postcard-determinism-clock findings.
+#include <chrono>
+
+double fixture_bad_elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::system_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count()) +
+         static_cast<double>(t1.time_since_epoch().count());
+}

@@ -1,0 +1,9 @@
+// postcard-lint-fixture: src/lp/budget.h
+// The single sanctioned wall-clock site: lp::SolveBudget's deadline
+// plumbing. Zero findings despite the steady_clock reads.
+#include <chrono>
+
+struct FixtureSolveBudget {
+  std::chrono::steady_clock::time_point deadline;
+  bool expired() const { return std::chrono::steady_clock::now() >= deadline; }
+};

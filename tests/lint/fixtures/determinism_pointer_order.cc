@@ -1,0 +1,19 @@
+// postcard-lint-fixture: src/net/fixture_pointer.cc
+// Pointer values used as keys: an address-to-integer cast and a
+// std::hash over a pointer type. Exactly two
+// postcard-determinism-pointer-order findings.
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+struct FixtureNode {
+  int id = 0;
+};
+
+std::size_t fixture_bad_key(const FixtureNode* n) {
+  return static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(n));
+}
+
+std::size_t fixture_bad_hash(FixtureNode* n) {
+  return std::hash<FixtureNode*>{}(n);
+}

@@ -1,0 +1,17 @@
+// postcard-lint-fixture: src/sim/fixture_rand.cc
+// Three nondeterministic random sources (default-constructed engine,
+// random_device, rand()); the seeded engine below is clean. Exactly three
+// postcard-determinism-rand findings.
+#include <cstdlib>
+#include <random>
+
+int fixture_bad_draw() {
+  std::mt19937_64 rng;
+  std::random_device rd;
+  return rand() + static_cast<int>(rng() % 7) + static_cast<int>(rd() % 7);
+}
+
+int fixture_seeded_ok(unsigned seed) {
+  std::mt19937_64 rng(seed);
+  return static_cast<int>(rng() % 7);
+}

@@ -1,0 +1,24 @@
+// postcard-lint-fixture: src/core/fixture_unordered.cc
+// Hash-order iteration two ways (range-for, explicit begin()); the ordered
+// std::map walk is clean. Exactly two postcard-determinism-unordered-iter
+// findings.
+#include <map>
+#include <unordered_map>
+
+struct FixtureLedger {
+  std::unordered_map<int, double> open_;
+  std::map<int, double> closed_;
+};
+
+double fixture_bad_sum(const FixtureLedger& l) {
+  double s = 0.0;
+  for (const auto& [id, v] : l.open_) s += v + id;
+  for (auto it = l.open_.begin(); it != l.open_.end(); ++it) s += it->second;
+  return s;
+}
+
+double fixture_good_sum(const FixtureLedger& l) {
+  double s = 0.0;
+  for (const auto& [id, v] : l.closed_) s += v + id;
+  return s;
+}

@@ -1,0 +1,7 @@
+// postcard-lint-fixture: src/lp/fixture_back_edge.cc
+// src/lp (layer 2) reaching up into src/core (layer 3): exactly one
+// postcard-layering-back-edge finding. The base include is a legal
+// downward edge.
+#include "core/plan.h"
+
+#include "base/mutex.h"

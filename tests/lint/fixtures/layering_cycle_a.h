@@ -1,0 +1,8 @@
+// postcard-lint-fixture: src/net/fixture_cycle_a.h
+// Half of an include cycle (see layering_cycle_b.h); registered together
+// they produce exactly one postcard-layering-cycle finding.
+#include "net/fixture_cycle_b.h"
+
+struct FixtureCycleA {
+  int a = 0;
+};

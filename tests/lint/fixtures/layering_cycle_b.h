@@ -1,0 +1,7 @@
+// postcard-lint-fixture: src/net/fixture_cycle_b.h
+// Second half of the include cycle rooted at layering_cycle_a.h.
+#include "net/fixture_cycle_a.h"
+
+struct FixtureCycleB {
+  int b = 0;
+};

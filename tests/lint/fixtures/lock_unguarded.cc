@@ -1,0 +1,20 @@
+// postcard-lint-fixture: src/runtime/fixture_lock.cc
+// A class owning a base::Mutex writes one annotated and one unannotated
+// field under the lock: exactly one postcard-lock-unguarded finding (for
+// total_).
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+class FixtureCounter {
+ public:
+  void bump(double v) {
+    postcard::base::MutexLock lock(mu_);
+    total_ += v;
+    count_ += 1;
+  }
+
+ private:
+  postcard::base::Mutex mu_;
+  double total_ = 0.0;
+  long count_ GUARDED_BY(mu_) = 0;
+};

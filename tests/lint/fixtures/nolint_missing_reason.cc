@@ -1,0 +1,11 @@
+// postcard-lint-fixture: src/core/fixture_nolint_reason.cc
+// A NOLINT without ': <reason>' does NOT suppress: the clock finding
+// stands AND the bare suppression is its own finding — one
+// postcard-determinism-clock plus one postcard-nolint-missing-reason.
+#include <chrono>
+
+double fixture_unjustified() {
+  // NOLINTNEXTLINE(postcard-determinism)
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<double>(now.time_since_epoch().count());
+}

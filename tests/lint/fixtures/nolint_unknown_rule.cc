@@ -1,0 +1,7 @@
+// postcard-lint-fixture: src/core/fixture_nolint_unknown.cc
+// A NOLINT naming a rule that does not exist: exactly one
+// postcard-nolint-unknown-rule finding.
+int fixture_v() {
+  int x = 0;  // NOLINT(postcard-made-up-rule: not a real rule)
+  return x;
+}

@@ -1,0 +1,10 @@
+// postcard-lint-fixture: src/core/fixture_suppressed.cc
+// A justified NOLINTNEXTLINE fully suppresses the clock finding: zero
+// findings, one suppression counted.
+#include <chrono>
+
+double fixture_waived() {
+  // NOLINTNEXTLINE(postcard-determinism-clock: fixture demonstrating a justified waiver)
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<double>(now.time_since_epoch().count());
+}

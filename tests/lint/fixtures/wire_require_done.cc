@@ -1,0 +1,18 @@
+// postcard-lint-fixture: src/server/fixture_wire_done.cc
+// One ByteReader that never proves full consumption, one that does:
+// exactly one postcard-wire-require-done finding. ByteReader& parameters
+// are decode helpers whose caller owns the obligation and are not
+// flagged.
+#include "server/wire.h"
+
+int fixture_bad_decode(const unsigned char* bytes, unsigned long n) {
+  postcard::server::ByteReader r(bytes, n);
+  return static_cast<int>(r.u32());
+}
+
+int fixture_good_decode(const unsigned char* bytes, unsigned long n) {
+  postcard::server::ByteReader r(bytes, n);
+  const int v = static_cast<int>(r.u32());
+  r.require_done();
+  return v;
+}

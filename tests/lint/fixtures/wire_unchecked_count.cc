@@ -1,0 +1,19 @@
+// postcard-lint-fixture: src/server/fixture_wire_count.cc
+// A resize() sized by a raw wire integer, then the same shape with the
+// count routed through ByteReader::length(): exactly one
+// postcard-wire-unchecked-count finding.
+#include <vector>
+
+#include "server/wire.h"
+
+void fixture_bad_alloc(postcard::server::ByteReader& r,
+                       std::vector<int>* out) {
+  const unsigned count = r.u32();
+  out->resize(count);
+}
+
+void fixture_good_alloc(postcard::server::ByteReader& r,
+                        std::vector<int>* out) {
+  const unsigned count = static_cast<unsigned>(r.length(4));
+  out->resize(count);
+}

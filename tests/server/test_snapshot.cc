@@ -142,8 +142,8 @@ TEST(SnapshotRestore, EncodeDecodeIsLossless) {
   const std::vector<std::uint8_t> bytes = encode_snapshot(snap);
   const RuntimeSnapshot back = decode_snapshot(bytes);
 
-  // Identical state must re-serialize to identical bytes (capture sorts
-  // ledger entries precisely so this holds).
+  // Identical state must re-serialize to identical bytes (the ordered
+  // plan/flow ledgers serialize ascending by id precisely so this holds).
   EXPECT_EQ(encode_snapshot(back), bytes);
   EXPECT_EQ(back.next_slot, snap.next_slot);
   EXPECT_EQ(back.pending_events.size(), snap.pending_events.size());

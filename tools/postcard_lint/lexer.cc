@@ -1,0 +1,183 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace postcard::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuation, longest first so the scan is greedy.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=",  "%=",  "|=",  "&=",  "^=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",
+};
+
+}  // namespace
+
+LexResult lex(const std::string& content) {
+  LexResult out;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') line += 1;
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      at_line_start = true;
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t j = i;
+      while (j < n && content[j] != '\n') ++j;
+      out.comments.push_back({start_line, content.substr(i, j - i)});
+      advance(j - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(content[j] == '*' && content[j + 1] == '/')) ++j;
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      out.comments.push_back({start_line, content.substr(i, end - i)});
+      advance(end - i);
+      continue;
+    }
+
+    // Preprocessor directive (only at the start of a line).
+    if (c == '#' && at_line_start) {
+      std::size_t j = i + 1;
+      while (j < n && (content[j] == ' ' || content[j] == '\t')) ++j;
+      std::size_t d = j;
+      while (d < n && is_ident_char(content[d])) ++d;
+      const std::string directive = content.substr(j, d - j);
+      if (directive == "include") {
+        std::size_t k = d;
+        while (k < n && (content[k] == ' ' || content[k] == '\t')) ++k;
+        if (k < n && (content[k] == '"' || content[k] == '<')) {
+          const char close = content[k] == '"' ? '"' : '>';
+          std::size_t e = k + 1;
+          while (e < n && content[e] != close && content[e] != '\n') ++e;
+          out.includes.push_back(
+              {line, content.substr(k + 1, e - k - 1), close == '>'});
+        }
+      }
+      // Skip the directive body, honoring backslash continuations.
+      std::size_t e = i;
+      while (e < n) {
+        if (content[e] == '\n') {
+          std::size_t b = e;
+          while (b > i && (content[b - 1] == ' ' || content[b - 1] == '\t')) {
+            --b;
+          }
+          if (b == i || content[b - 1] != '\\') break;
+        }
+        ++e;
+      }
+      advance(e - i);
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal: R"tag( ... )tag"  (optionally u8R / LR / uR / UR).
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t t = i + 2;
+      while (t < n && content[t] != '(' && content[t] != '\n' &&
+             t - (i + 2) <= 16) {
+        ++t;
+      }
+      if (t < n && content[t] == '(') {
+        const std::string tag = content.substr(i + 2, t - (i + 2));
+        const std::string close = ")" + tag + "\"";
+        const std::size_t e = content.find(close, t + 1);
+        const std::size_t end = (e == std::string::npos) ? n : e + close.size();
+        out.tokens.push_back({TokKind::kString, "<raw>", line});
+        advance(end - i);
+        continue;
+      }
+    }
+
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        if (content[j] == '\n') break;  // unterminated; recover at newline
+        ++j;
+      }
+      const std::size_t end = (j < n && content[j] == quote) ? j + 1 : j;
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            content.substr(i, end - i), start_line});
+      advance(end - i);
+      continue;
+    }
+
+    // Identifier.
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(content[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Number (digits plus pp-number tail; good enough for rule matching).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n && (is_ident_char(content[j]) || content[j] == '.' ||
+                       content[j] == '\'' ||
+                       ((content[j] == '+' || content[j] == '-') &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+                         content[j - 1] == 'p' || content[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::string(p).size();
+      if (content.compare(i, len, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace postcard::lint

@@ -1,0 +1,62 @@
+// Minimal C++ lexer for postcard_lint.
+//
+// The lint rules (see lint.h) work on a token stream, the comment list and
+// the include directives of each translation unit — enough to enforce the
+// project's determinism, layering, wire and lock invariants without a full
+// frontend. The optional clang AST frontend (ast_main.cc, gated behind
+// POSTCARD_LINT_AST) covers the cases a lexer cannot see, e.g. types
+// hidden behind aliases; this lexer is the engine that runs on every
+// build, clang or not.
+//
+// What it understands:
+//   - line and block comments (captured separately for NOLINT parsing)
+//   - string/char literals with escapes, and raw strings R"tag(...)tag"
+//   - preprocessor lines, including backslash continuations; #include
+//     targets are captured, the rest of the directive is skipped
+//   - multi-char punctuation emitted as single tokens (::, ->, +=, ==, ...)
+//
+// What it deliberately does not understand: macro expansion and template
+// instantiation. Rules are written so that the repo's idioms are visible
+// without either; the limits are documented in tools/postcard_lint/README.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace postcard::lint {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;  // line the comment starts on
+  std::string text;
+};
+
+struct Include {
+  int line = 0;
+  std::string path;
+  bool angled = false;  // <system> vs "project"
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+};
+
+/// Lexes `content`; never fails (unterminated literals are closed at EOF).
+LexResult lex(const std::string& content);
+
+}  // namespace postcard::lint

@@ -1,0 +1,168 @@
+// postcard_lint CLI.
+//
+// Default mode walks <root>/src for every first-party .h/.cc, runs all
+// rule families (lint.h documents them) and exits 1 on any unsuppressed
+// finding. With --compdb it is driven by the build's compile database:
+// every src/ translation unit must appear there, so a new library that was
+// never wired into CMake fails the gate loudly instead of silently
+// escaping analysis (the same trap scripts/check_tidy.sh sets for the
+// clang-tidy file list).
+//
+// Fixture mode (--fixture) lints standalone files whose first line names
+// the virtual path they should be scoped as:
+//   // postcard-lint-fixture: src/core/bad_clock.cc
+//
+// Usage:
+//   postcard_lint [--root DIR] [--compdb FILE]        # lint the tree
+//   postcard_lint --fixture FILE...                   # lint fixtures
+//   postcard_lint --list-rules
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using postcard::lint::Linter;
+using postcard::lint::LintResult;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "postcard_lint: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Extracts the "file" entries of a compile_commands.json. A loose scan is
+/// enough: entries are absolute paths and the values never contain escaped
+/// quotes in this repo's build trees.
+std::set<std::string> compdb_files(const std::string& path) {
+  const std::string text = read_file(path);
+  std::set<std::string> files;
+  const std::string key = "\"file\"";
+  std::size_t at = 0;
+  while ((at = text.find(key, at)) != std::string::npos) {
+    at += key.size();
+    const std::size_t open = text.find('"', text.find(':', at));
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    files.insert(text.substr(open + 1, close - open - 1));
+    at = close + 1;
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compdb;
+  std::vector<std::string> fixtures;
+  bool fixture_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : Linter::rule_ids()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--compdb" && i + 1 < argc) {
+      compdb = argv[++i];
+    } else if (arg == "--fixture") {
+      fixture_mode = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      fixtures.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: postcard_lint [--root DIR] [--compdb FILE] |"
+                   " --fixture FILE... | --list-rules\n");
+      return 2;
+    }
+  }
+
+  Linter linter;
+  if (fixture_mode) {
+    for (const std::string& f : fixtures) {
+      const std::string content = read_file(f);
+      const auto vpath = postcard::lint::fixture_virtual_path(content);
+      if (!vpath) {
+        std::fprintf(stderr,
+                     "postcard_lint: %s lacks a '// postcard-lint-fixture: "
+                     "<virtual path>' first line\n",
+                     f.c_str());
+        return 2;
+      }
+      linter.add_file(f, *vpath, content);
+    }
+  } else {
+    const fs::path src = fs::path(root) / "src";
+    if (!fs::is_directory(src)) {
+      std::fprintf(stderr, "postcard_lint: %s is not a directory\n",
+                   src.string().c_str());
+      return 2;
+    }
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());  // deterministic report order
+
+    // compile_commands completeness: every src/ TU must be built (and
+    // therefore visible to clang-tidy and any AST-based tooling).
+    if (!compdb.empty()) {
+      const std::set<std::string> built = compdb_files(compdb);
+      int missing = 0;
+      for (const fs::path& p : paths) {
+        if (p.extension() != ".cc") continue;
+        const std::string abs = fs::absolute(p).lexically_normal().string();
+        if (built.count(abs) == 0) {
+          std::fprintf(stderr,
+                       "%s:1: error: [postcard-compdb-missing] translation "
+                       "unit absent from %s — wire the library into CMake "
+                       "so every gate sees it\n",
+                       p.string().c_str(), compdb.c_str());
+          missing += 1;
+        }
+      }
+      if (missing > 0) return 1;
+    }
+
+    const fs::path rootp = fs::absolute(root).lexically_normal();
+    for (const fs::path& p : paths) {
+      const std::string vpath =
+          fs::absolute(p).lexically_normal().lexically_relative(rootp)
+              .generic_string();
+      linter.add_file(p.string(), vpath, read_file(p.string()));
+    }
+  }
+
+  const LintResult result = linter.run();
+  for (const auto& d : result.findings) {
+    std::printf("%s:%d: error: [%s] %s\n", d.file.c_str(), d.line,
+                d.rule.c_str(), d.message.c_str());
+  }
+  std::printf(
+      "postcard_lint: %zu finding%s (%d suppressed by justified NOLINTs) "
+      "over %d files\n",
+      result.findings.size(), result.findings.size() == 1 ? "" : "s",
+      result.suppressed, result.files);
+  return result.findings.empty() ? 0 : 1;
+}
